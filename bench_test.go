@@ -1,0 +1,128 @@
+package ipda
+
+// One benchmark per paper artifact (see the experiment index in
+// DESIGN.md). Each bench iteration regenerates the corresponding table at
+// a reduced trial count, so `go test -bench=.` both times the harness and
+// re-derives every result. cmd/ipda-bench runs the same experiments at the
+// paper's full trial counts.
+
+import (
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/experiments"
+)
+
+// benchOptions keeps each iteration meaningful but bounded.
+func benchOptions(i int) experiments.Options {
+	return experiments.Options{
+		Sizes:  []int{200, 400, 600},
+		Trials: 2,
+		Seed:   uint64(i) + 1,
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o := benchOptions(i)
+		if name == "indist" {
+			o.Trials = 4000
+		}
+		if _, err := experiments.Run(name, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Density regenerates Table I (size vs density).
+func BenchmarkTable1Density(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig5Privacy regenerates Figure 5 (P_disclose vs p_x).
+func BenchmarkFig5Privacy(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6TreeAgreement regenerates Figure 6 (red vs blue COUNT).
+func BenchmarkFig6TreeAgreement(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Overhead regenerates Figure 7 (bandwidth vs size).
+func BenchmarkFig7Overhead(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Coverage regenerates Figure 8 (coverage/participation/
+// accuracy).
+func BenchmarkFig8Coverage(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkCoverageBound regenerates the Section IV-A.1 coverage analysis.
+func BenchmarkCoverageBound(b *testing.B) { benchExperiment(b, "coverage") }
+
+// BenchmarkOverheadAnalysis regenerates the Section IV-A.2 message counts.
+func BenchmarkOverheadAnalysis(b *testing.B) { benchExperiment(b, "overhead") }
+
+// BenchmarkPollutionDetection regenerates the Section IV-A.4 detection
+// experiment.
+func BenchmarkPollutionDetection(b *testing.B) { benchExperiment(b, "pollution") }
+
+// BenchmarkThSweep regenerates the Section IV-B.1 threshold selection.
+func BenchmarkThSweep(b *testing.B) { benchExperiment(b, "th") }
+
+// BenchmarkDoSLocalization regenerates the Section III-D localization
+// experiment.
+func BenchmarkDoSLocalization(b *testing.B) { benchExperiment(b, "dos") }
+
+// BenchmarkIndistinguishability regenerates the privacy-framework game.
+func BenchmarkIndistinguishability(b *testing.B) { benchExperiment(b, "indist") }
+
+// BenchmarkKAblation regenerates the aggregator-budget ablation.
+func BenchmarkKAblation(b *testing.B) { benchExperiment(b, "kablation") }
+
+// BenchmarkAdaptiveAblation regenerates the Eq.(1)-vs-Eq.(2) ablation.
+func BenchmarkAdaptiveAblation(b *testing.B) { benchExperiment(b, "adaptive") }
+
+// BenchmarkMTrees regenerates the m-tree generalization experiment.
+func BenchmarkMTrees(b *testing.B) { benchExperiment(b, "mtrees") }
+
+// BenchmarkLifetime regenerates the energy/lifetime comparison.
+func BenchmarkLifetime(b *testing.B) { benchExperiment(b, "lifetime") }
+
+// BenchmarkKeys regenerates the key-predistribution exposure table.
+func BenchmarkKeys(b *testing.B) { benchExperiment(b, "keys") }
+
+// BenchmarkLAblation regenerates the slice-count ablation.
+func BenchmarkLAblation(b *testing.B) { benchExperiment(b, "lablation") }
+
+// Protocol micro-benchmarks: the cost of deployment and of one query
+// round at the paper's N=400 operating point.
+
+func BenchmarkDeploy400(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(400)
+		cfg.Seed = uint64(i) + 1
+		if _, err := Deploy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCountRound400(b *testing.B) {
+	net, err := Deploy(DefaultConfig(400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTAGRound400(b *testing.B) {
+	net, err := DeployTAG(DefaultConfig(400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command ipda-bench regenerates the tables and figures of the paper's
+// evaluation (Section IV). Each experiment prints a text table whose rows
+// mirror the corresponding paper artifact; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for a recorded reference run.
+//
+// Usage:
+//
+//	ipda-bench -exp fig6              # one experiment
+//	ipda-bench -exp all               # everything (minutes)
+//	ipda-bench -exp fig7 -trials 20   # more trials per point
+//	ipda-bench -list                  # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ipda-sim/ipda/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment ID or 'all'")
+		trials  = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		seed    = flag.Uint64("seed", 2024, "root random seed")
+		sizes   = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text | csv")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	if *sizes != "" {
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "ipda-bench: bad size %q\n", part)
+				os.Exit(2)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		table, err := experiments.Run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			if err := table.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ipda-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		case "text":
+			table.Fprint(os.Stdout)
+			fmt.Printf("  (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		default:
+			fmt.Fprintf(os.Stderr, "ipda-bench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

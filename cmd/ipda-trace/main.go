@@ -1,0 +1,49 @@
+// Command ipda-trace summarizes a JSON-lines protocol timeline produced
+// by ipda-sim -trace (or ipda.Trace.WriteJSON): event counts by message
+// type, collision totals, the busiest observer, and the time span.
+//
+// Usage:
+//
+//	ipda-sim -nodes 400 -trace round.jsonl
+//	ipda-trace round.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/ipda-sim/ipda/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ipda-trace <timeline.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipda-trace:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := trace.ReadJSON(f, 1<<22)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipda-trace:", err)
+		os.Exit(1)
+	}
+	s := trace.Summarize(log)
+	fmt.Printf("events:      %d (%d dropped at capture)\n", s.Events, s.Dropped)
+	fmt.Printf("span:        %.3fs .. %.3fs (%.3fs)\n", s.First, s.Last, s.Last-s.First)
+	fmt.Printf("collisions:  %d\n", s.Collisions)
+	fmt.Printf("busiest:     node %d\n", s.BusiestNode)
+	kinds := make([]string, 0, len(s.ByDetailKind))
+	for k := range s.ByDetailKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(a, b int) bool { return s.ByDetailKind[kinds[a]] > s.ByDetailKind[kinds[b]] })
+	fmt.Println("by type:")
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %d\n", k, s.ByDetailKind[k])
+	}
+}

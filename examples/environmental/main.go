@@ -1,0 +1,92 @@
+// Environmental monitoring: the classic WSN workload — temperature
+// sensing over a field — using the non-additive statistics of Section
+// II-B. MIN and MAX run through the k-th power-mean approximation
+// (max(x₁..x_N) = lim_{k→∞} (Σxᵢᵏ)^{1/k}), VARIANCE through two additive
+// rounds of r² and r plus a private count; all of it privately sliced and
+// dual-tree verified like any other query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/ipda-sim/ipda"
+)
+
+// fieldTemperature returns a synthetic temperature in tenths of °C at a
+// sensor: a base gradient across the field plus a hot spot.
+func fieldTemperature(sensor, n int) int64 {
+	pos := float64(sensor) / float64(n)
+	base := 180 + 40*pos // 18.0°C .. 22.0°C across the field
+	hotspot := 55 * math.Exp(-math.Pow((pos-0.7)*12, 2))
+	return int64(base + hotspot)
+}
+
+func main() {
+	cfg := ipda.DefaultConfig(400)
+	cfg.Seed = 21
+	net, err := ipda.Deploy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	readings := make([]int64, net.Size())
+	trueMin, trueMax := int64(1<<62), int64(0)
+	var sum float64
+	for i := 1; i < len(readings); i++ {
+		readings[i] = fieldTemperature(i, len(readings))
+		if readings[i] < trueMin {
+			trueMin = readings[i]
+		}
+		if readings[i] > trueMax {
+			trueMax = readings[i]
+		}
+		sum += float64(readings[i])
+	}
+	trueMean := sum / float64(len(readings)-1)
+
+	fmt.Printf("field of %d thermometers (readings in 0.1°C)\n", net.Size()-1)
+	fmt.Printf("ground truth: min %.1f°C  mean %.1f°C  max %.1f°C\n\n",
+		float64(trueMin)/10, trueMean/10, float64(trueMax)/10)
+
+	queries := []struct {
+		name string
+		kind ipda.Kind
+	}{
+		{"AVERAGE", ipda.Average},
+		{"MIN", ipda.Min},
+		{"MAX", ipda.Max},
+		{"VARIANCE", ipda.Variance},
+	}
+	for _, q := range queries {
+		var res *ipda.QueryResult
+		switch q.kind {
+		case ipda.Min, ipda.Max:
+			// Tune the power mean: readings live in [180, 300] tenths,
+			// so declare normal=300 and use a high power for tightness.
+			res, err = net.QueryExtremum(q.kind, readings, 32, 300)
+		default:
+			res, err = net.Query(q.kind, readings)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ACCEPTED"
+		if !res.Accepted {
+			verdict = "REJECTED"
+		}
+		switch q.kind {
+		case ipda.Variance:
+			fmt.Printf("%-8s -> %.1f (0.1°C)²  [%s]\n", q.name, res.Value, verdict)
+		default:
+			fmt.Printf("%-8s -> %.1f°C  [%s]\n", q.name, res.Value/10, verdict)
+		}
+	}
+
+	fmt.Println("\nnote: MIN/MAX are power-mean approximations — the estimate lands")
+	fmt.Printf("within n^(1/k) of the true extremum (k=32, n=400: %.0f%%), biased\n",
+		(math.Pow(float64(net.Size()), 1.0/32)-1)*100)
+	fmt.Println("toward it as k grows; all queries remain sliced and dual-tree")
+	fmt.Println("verified.")
+}

@@ -1,0 +1,79 @@
+// Privacy sweep: quantifies the slicing mechanism's privacy along the two
+// axes the paper analyzes — the per-link compromise probability p_x and
+// the slice count l (Figure 5) — and through the indistinguishability
+// game that formalizes what "private" means for an individual reading.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ipda-sim/ipda"
+)
+
+func main() {
+	// Disclosure probability: run the actual protocol under a global
+	// passive eavesdropper at several compromise levels, next to the
+	// paper's Equation (11) (aggregator form, d-regular).
+	fmt.Println("empirical disclosure vs Equation (11) (l = 2)")
+	fmt.Println("p_x    measured   Eq.(11)")
+	for _, px := range []float64{0.02, 0.05, 0.10, 0.20} {
+		cfg := ipda.DefaultConfig(400)
+		cfg.Seed = uint64(100 * px)
+		net, err := ipda.Deploy(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eav := net.AttachEavesdropper(px)
+		if _, err := net.Count(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f   %8.4f   %7.5f\n", px, eav.DisclosureRate(), ipda.TheoreticalDisclosure(px, 2))
+	}
+
+	// More slices buy more privacy at (2l+1)/2 the traffic.
+	fmt.Println("\nslices vs privacy and cost (p_x = 0.10)")
+	fmt.Println("l   disclosed   msg ratio vs TAG")
+	for _, l := range []int{1, 2, 3} {
+		cfg := ipda.DefaultConfig(400)
+		cfg.Slices = l
+		cfg.Seed = uint64(31 * l)
+		net, err := ipda.Deploy(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eav := net.AttachEavesdropper(0.10)
+		if _, err := net.Count(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d   %9.4f   %.1fx\n", l, eav.DisclosureRate(), ipda.OverheadRatio(l))
+	}
+
+	// The indistinguishability game: can an adversary tell a household
+	// that consumed 1 W from one that consumed 100 kW? With full-ring
+	// shares, only full reconstruction helps; with bounded shares the
+	// share magnitudes leak the scale.
+	fmt.Println("\nindistinguishability game: advantage telling v0=1 from v1=100000 (l = 2)")
+	fmt.Println("p_x    full-ring   theory   bounded(spread=4)")
+	for _, px := range []float64{0.05, 0.1, 0.3} {
+		ring, err := ipda.RunIndistinguishabilityGame(2, 0, px, 1, 100000, 30000, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bounded, err := ipda.RunIndistinguishabilityGame(2, 4, px, 1, 100000, 30000, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f   %9.4f   %6.4f   %9.4f\n",
+			px, max0(ring.Advantage), ipda.TheoreticalLeafAdvantage(px, 2), max0(bounded.Advantage))
+	}
+	fmt.Println("\ntakeaway: slicing keeps same-scale readings indistinguishable below full")
+	fmt.Println("link compromise; bounded shares trade a scale leak for loss tolerance.")
+}
+
+func max0(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+// Smart metering: the advanced-metering scenario that motivates the paper
+// (Section I). A neighborhood of smart meters reports household load to
+// the utility's collector every interval. Two things must hold:
+//
+//   - privacy: per-household consumption reveals occupancy and behaviour
+//     (Hart, 1989), so no meter's reading may be exposed to neighbors or
+//     eavesdroppers — yet the utility still needs exact totals;
+//   - integrity: a tampering party who shifts usage between billing
+//     intervals must be caught.
+//
+// The example simulates a day of 15-minute aggregate reads over diurnal
+// household profiles, then replays one interval with a meter that deflates
+// the neighborhood total, and shows the collector rejecting it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/ipda-sim/ipda"
+)
+
+// householdLoad returns a synthetic household demand in watts at a given
+// hour: a base load plus morning and evening peaks, individualized per
+// meter.
+func householdLoad(meter int, hour float64) int64 {
+	base := 180.0 + 40.0*float64(meter%7)
+	overnight := 35.0 * math.Sin(2*math.Pi*(hour+float64(meter%5))/24)
+	morning := 350.0 * math.Exp(-(hour-7.5)*(hour-7.5)/2)
+	evening := 600.0 * math.Exp(-(hour-19.0)*(hour-19.0)/4.5)
+	weekendish := 1.0 + 0.1*float64(meter%3)
+	return int64((base + overnight + morning + evening) * weekendish)
+}
+
+func main() {
+	cfg := ipda.DefaultConfig(350)
+	cfg.Threshold = 2000 // watts of tolerated tree disagreement
+	cfg.Seed = 7
+	net, err := ipda.Deploy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metering network: %d meters, %.1f%% participating\n\n",
+		net.Size()-1, 100*net.Participation())
+
+	fmt.Println("hour  total kW  accepted")
+	var readings []int64
+	for hour := 0; hour < 24; hour += 3 {
+		readings = make([]int64, net.Size())
+		for i := 1; i < len(readings); i++ {
+			readings[i] = householdLoad(i, float64(hour))
+		}
+		res, err := net.Sum(readings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d  %8.1f  %v\n", hour, res.Value/1000, res.Accepted)
+	}
+
+	// An insider at a relay meter deflates the reported total to cut the
+	// neighborhood's bill. Both trees would have to be compromised in a
+	// coordinated way to go unnoticed; a single compromised aggregator
+	// cannot do it.
+	fmt.Println("\ntampering: relay meters shaving 25 kW off the evening interval")
+	for id := 1; id <= 15; id++ {
+		net.InjectPollution(id, -25000)
+	}
+	res, err := net.Sum(readings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collector verdict: accepted=%v (red %.1f kW vs blue %.1f kW)\n",
+		res.Accepted, float64(res.RedSum)/1000, float64(res.BlueSum)/1000)
+	if !res.Accepted {
+		fmt.Println("the interval is re-queried after excluding the suspect relays")
+	}
+
+	// Privacy check: a passive adversary who compromised 10% of links
+	// (e.g. via shared pool keys) recovers almost no individual profiles.
+	clean, err := ipda.Deploy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eav := clean.AttachEavesdropper(0.10)
+	if _, err := clean.Sum(readings); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\neavesdropper with p_x=0.10 disclosed %.2f%% of household profiles\n",
+		100*eav.DisclosureRate())
+}

@@ -1,0 +1,3 @@
+module github.com/ipda-sim/ipda
+
+go 1.22

@@ -1,0 +1,203 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+func instance(t *testing.T, nodes int, seed uint64, cfg core.Config) *core.Instance {
+	t.Helper()
+	net, err := topology.Random(topology.PaperConfig(nodes), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.New(net, cfg, seed+99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNoCompromiseNoDisclosure(t *testing.T) {
+	in := instance(t, 300, 1, core.DefaultConfig())
+	e := NewEavesdropper(0, rng.New(2))
+	e.Attach(in)
+	if _, err := in.RunCount(); err != nil {
+		t.Fatal(err)
+	}
+	if rate := e.DiscloseRate(in.Participants()); rate != 0 {
+		t.Fatalf("disclosure rate %v with p_x = 0", rate)
+	}
+}
+
+func TestFullCompromiseFullDisclosure(t *testing.T) {
+	in := instance(t, 300, 3, core.DefaultConfig())
+	e := NewEavesdropper(1, rng.New(4))
+	e.Attach(in)
+	if _, err := in.RunCount(); err != nil {
+		t.Fatal(err)
+	}
+	// With every link compromised, every participant that transmitted a
+	// complete set is disclosed. Aggregators additionally need incoming
+	// coverage, which p_x = 1 gives.
+	if rate := e.DiscloseRate(in.Participants()); rate < 0.999 {
+		t.Fatalf("disclosure rate %v with p_x = 1", rate)
+	}
+}
+
+func TestDiscloseRateIncreasesWithPx(t *testing.T) {
+	rate := func(px float64) float64 {
+		in := instance(t, 400, 5, core.DefaultConfig())
+		e := NewEavesdropper(px, rng.New(6))
+		e.Attach(in)
+		if _, err := in.RunCount(); err != nil {
+			t.Fatal(err)
+		}
+		return e.DiscloseRate(in.Participants())
+	}
+	lo, hi := rate(0.05), rate(0.6)
+	if lo >= hi {
+		t.Fatalf("disclosure did not increase with p_x: %v vs %v", lo, hi)
+	}
+}
+
+func TestMoreSlicesLowerDisclosure(t *testing.T) {
+	rate := func(l int) float64 {
+		cfg := core.DefaultConfig()
+		cfg.Slices = l
+		// Average across several topologies to tame variance.
+		var sum float64
+		const trials = 5
+		for trial := 0; trial < trials; trial++ {
+			in := instance(t, 400, 7+uint64(trial), cfg)
+			e := NewEavesdropper(0.3, rng.New(8+uint64(trial)))
+			e.Attach(in)
+			if _, err := in.RunCount(); err != nil {
+				t.Fatal(err)
+			}
+			sum += e.DiscloseRate(in.Participants())
+		}
+		return sum / trials
+	}
+	r2, r3 := rate(2), rate(3)
+	if r3 >= r2 {
+		t.Fatalf("l=3 disclosure %v not below l=2 %v", r3, r2)
+	}
+}
+
+func TestDisclosureMatchesAnalyticOrder(t *testing.T) {
+	// At p_x = 0.1 and l = 2 the analysis (Fig. 5) predicts a disclosure
+	// probability of a few percent. Check the empirical rate lands in a
+	// loose band around it.
+	var sum float64
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		in := instance(t, 400, 20+uint64(trial), core.DefaultConfig())
+		e := NewEavesdropper(0.1, rng.New(30+uint64(trial)))
+		e.Attach(in)
+		if _, err := in.RunCount(); err != nil {
+			t.Fatal(err)
+		}
+		sum += e.DiscloseRate(in.Participants())
+	}
+	got := sum / trials
+	if got < 0.001 || got > 0.15 {
+		t.Fatalf("empirical P_disclose(0.1) = %v, expected a few percent", got)
+	}
+}
+
+func TestResetKeepsCompromise(t *testing.T) {
+	in := instance(t, 200, 9, core.DefaultConfig())
+	e := NewEavesdropper(0.5, rng.New(10))
+	e.Attach(in)
+	if _, err := in.RunCount(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.CompromisedLinks()
+	if before == 0 {
+		t.Fatal("no compromised links at p_x = 0.5")
+	}
+	e.Reset()
+	if e.CompromisedLinks() != before {
+		t.Fatal("Reset dropped the compromised-link set")
+	}
+	if rate := e.DiscloseRate(in.Participants()); rate != 0 {
+		t.Fatal("Reset kept per-round observations")
+	}
+}
+
+func TestLocalizePolluter(t *testing.T) {
+	net, err := topology.Random(topology.PaperConfig(200), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
+		cfg := core.DefaultConfig()
+		cfg.Tree.Adaptive = false // every covered node aggregates
+		cfg.Disabled = disabled
+		return core.New(net, cfg, seed)
+	}
+	// Pick an attacker that is well-connected so it aggregates reliably.
+	var attacker topology.NodeID
+	for i := 1; i < net.N(); i++ {
+		if net.Degree(topology.NodeID(i)) >= 8 {
+			attacker = topology.NodeID(i)
+			break
+		}
+	}
+	res, err := LocalizePolluter(net.N(), factory, attacker, 5000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspect != attacker {
+		t.Fatalf("localized %d, attacker was %d", res.Suspect, attacker)
+	}
+	// O(log N): 200 nodes -> 8 bisection rounds.
+	if res.Rounds > 10 {
+		t.Fatalf("used %d rounds for N=200", res.Rounds)
+	}
+}
+
+func TestPolluterBehaviorOnlyAggregators(t *testing.T) {
+	in := instance(t, 300, 13, core.DefaultConfig())
+	var leaf topology.NodeID = topology.None
+	for i := 1; i < in.Net.N(); i++ {
+		if in.Trees.Role[i] == tree.RoleLeaf {
+			leaf = topology.NodeID(i)
+			break
+		}
+	}
+	if leaf == topology.None {
+		t.Skip("no leaf")
+	}
+	PolluterBehavior(in, leaf, 9999)
+	res, err := in.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("leaf 'polluter' affected the result")
+	}
+}
+
+func TestCompromiseRateMatchesPx(t *testing.T) {
+	in := instance(t, 300, 15, core.DefaultConfig())
+	e := NewEavesdropper(0.25, rng.New(16))
+	e.Attach(in)
+	if _, err := in.RunCount(); err != nil {
+		t.Fatal(err)
+	}
+	total := len(e.compromised)
+	if total < 100 {
+		t.Skipf("too few observed links (%d)", total)
+	}
+	frac := float64(e.CompromisedLinks()) / float64(total)
+	if math.Abs(frac-0.25) > 0.08 {
+		t.Fatalf("compromise fraction %v, want ~0.25", frac)
+	}
+}

@@ -1,0 +1,654 @@
+// Package core implements the iPDA protocol — the paper's primary
+// contribution — over the simulated wireless network.
+//
+// An Instance binds one deployed network to one pair of disjoint
+// aggregation trees (Phase I, delegated to package tree) and then answers
+// aggregation queries round by round:
+//
+//   - Phase II (privacy-preserving data report): every participating node
+//     splits its per-round additive contribution into l encrypted slices
+//     per tree and sends them to aggregator neighbors at random times
+//     inside the slicing window; aggregators decrypt and assemble.
+//   - Phase III (integrity-protecting aggregation): aggregators fold their
+//     assembled totals with their children's partial sums, deepest hops
+//     first, up each tree independently; the base station cross-checks the
+//     two totals and accepts the round only if |S_b − S_r| ≤ Th.
+//
+// The engine also exposes the hooks the evaluation needs: pollution
+// attackers (Section II-C), node disablement for DoS-attacker localization
+// (Section III-D), per-phase byte accounting (Figure 7), and
+// coverage/participation metrics (Figure 8).
+package core
+
+import (
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/aggregate"
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/slicing"
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+// Config parameterizes one iPDA instance.
+type Config struct {
+	// Slices is l, the number of slices per tree (paper recommends 2;
+	// l = 1 disables slicing and reports plain encrypted readings).
+	Slices int
+	// Threshold is Th, the acceptance threshold on |S_b − S_r|
+	// (Section III-D; the paper suggests small values such as 5 for
+	// COUNT).
+	Threshold int64
+	// Tree configures Phase I.
+	Tree tree.Config
+	// MAC configures the CSMA layer.
+	MAC mac.Config
+	// Keys is the link-key scheme; nil selects a pairwise scheme derived
+	// from the instance seed.
+	Keys linksec.Scheme
+	// SliceWindow is the Phase II reporting window; slices are sent at
+	// uniform random offsets within it.
+	SliceWindow eventsim.Time
+	// AggSlot is the Phase III per-hop time slot: aggregators at hop h
+	// transmit (maxHop − h) slots into the phase, children before parents.
+	AggSlot eventsim.Time
+	// ShareSpread controls slice magnitudes: shares are uniform over
+	// [−s·|v|, s·|v|] (see slicing.SplitBounded). Zero selects full-ring
+	// uniform shares — perfect hiding, but a single lost slice randomizes
+	// the round total, so use it only on effectively loss-free channels.
+	ShareSpread int64
+	// DisseminateQuery makes each round start with a base-station QUERY
+	// flood (aggregators rebroadcast once); nodes open their slicing
+	// window on reception, and nodes the flood misses skip the round. The
+	// default (false) models pre-scheduled epochs, the common TAG-style
+	// deployment; enabling it adds the flood's traffic to the round.
+	DisseminateQuery bool
+	// Disabled marks nodes excluded from the protocol (see tree.Config).
+	Disabled []bool
+	// ExtraRoots lists additional base stations beyond node 0 (Section
+	// II-A). Each roots both trees and collects partial results; the
+	// final totals fuse all roots' collections. Roots hold no readings.
+	ExtraRoots []topology.NodeID
+	// LossRate adds independent per-reception fading loss in [0, 1) on
+	// top of the collision model; the ARQ recovers unicast losses, so
+	// moderate fading costs retries rather than data.
+	LossRate float64
+}
+
+// DefaultConfig returns the paper's recommended parameters: l = 2, Th = 5,
+// adaptive trees with k = 4.
+func DefaultConfig() Config {
+	return Config{
+		Slices:      2,
+		Threshold:   5,
+		Tree:        tree.DefaultConfig(),
+		MAC:         mac.DefaultConfig(),
+		SliceWindow: 2.0,
+		AggSlot:     0.25,
+		ShareSpread: 4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Slices < 1 {
+		return fmt.Errorf("core: Slices must be >= 1, got %d", c.Slices)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("core: Threshold must be >= 0, got %d", c.Threshold)
+	}
+	if c.SliceWindow <= 0 || c.AggSlot <= 0 {
+		return fmt.Errorf("core: SliceWindow and AggSlot must be positive")
+	}
+	if c.ShareSpread < 0 {
+		return fmt.Errorf("core: ShareSpread must be >= 0, got %d", c.ShareSpread)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("core: LossRate must be in [0, 1), got %v", c.LossRate)
+	}
+	return c.Tree.Validate()
+}
+
+// Instance is one deployed iPDA network with constructed trees, ready to
+// answer aggregation queries. It is not safe for concurrent use; run
+// independent instances on separate goroutines instead.
+type Instance struct {
+	Net    *topology.Network
+	Cfg    Config
+	Sim    *eventsim.Sim
+	Medium *radio.Medium
+	MAC    *mac.MAC
+	Trees  *tree.Result
+	Keys   linksec.Scheme
+
+	// OnSlice, when set, observes every slice put on the air (ground
+	// truth, independent of delivery): the attack experiments use it to
+	// model eavesdroppers with per-link compromise probabilities without
+	// re-deriving plaintexts from ciphertexts.
+	OnSlice func(src, dst topology.NodeID, color packet.Color, share int64)
+	// OnLocalShare observes shares an aggregator keeps for itself (these
+	// never touch the air).
+	OnLocalShare func(id topology.NodeID, color packet.Color, share int64)
+
+	rand      *rng.Stream
+	round     uint16
+	polluters map[topology.NodeID]int64
+	dead      []bool
+
+	// Per-round mutable state, reset by runAdditiveRound.
+	assembled  []assemblerPair
+	childSum   []int64
+	childCount []uint32
+	bsChild    map[packet.Color]*bsAccum
+	onQuery    func(self topology.NodeID)
+}
+
+// bsAccum accumulates Phase III arrivals at the base station per tree.
+type bsAccum struct {
+	sum   int64
+	count uint32
+}
+
+type assemblerPair struct {
+	red, blue *slicing.Assembler
+}
+
+// New deploys an Instance: it builds the radio stack over net, runs
+// Phase I, and verifies tree disjointness. All randomness derives from
+// seed, so equal inputs give byte-identical runs.
+func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	sim := eventsim.New()
+	medium := radio.New(sim, net, radio.PaperRate)
+	if cfg.LossRate > 0 {
+		medium.SetLoss(cfg.LossRate, root.Split(4))
+	}
+	m := mac.New(sim, medium, net.N(), cfg.MAC, root.Split(1))
+	treeCfg := cfg.Tree
+	treeCfg.Disabled = cfg.Disabled
+	treeCfg.ExtraRoots = cfg.ExtraRoots
+	trees, err := tree.BuildDisjoint(sim, medium, m, net, treeCfg, root.Split(2))
+	if err != nil {
+		return nil, err
+	}
+	if err := trees.Disjoint(); err != nil {
+		return nil, fmt.Errorf("core: phase I produced overlapping trees: %w", err)
+	}
+	keys := cfg.Keys
+	if keys == nil {
+		keys = linksec.NewPairwise(seed ^ 0x69706461) // "ipda"
+	}
+	inst := &Instance{
+		Net:       net,
+		Cfg:       cfg,
+		Sim:       sim,
+		Medium:    medium,
+		MAC:       m,
+		Trees:     trees,
+		Keys:      keys,
+		rand:      root.Split(3),
+		polluters: make(map[topology.NodeID]int64),
+	}
+	return inst, nil
+}
+
+// Pollute registers a data-pollution attacker: whenever node id forwards
+// an intermediate aggregation result, it adds delta. Registering delta = 0
+// removes the attacker.
+func (in *Instance) Pollute(id topology.NodeID, delta int64) {
+	if delta == 0 {
+		delete(in.polluters, id)
+		return
+	}
+	in.polluters[id] = delta
+}
+
+// Kill fails node id at runtime: from the next round on it neither
+// transmits nor processes receptions, but — unlike Config.Disabled — the
+// trees were built while it was alive, so its subtree silently vanishes.
+// This models the node-failure case the base station cannot tell apart
+// from an attack ("either data pollution attacks or node failures, or
+// both", Section III-A).
+func (in *Instance) Kill(id topology.NodeID) {
+	if in.dead == nil {
+		in.dead = make([]bool, in.Net.N())
+	}
+	in.dead[id] = true
+}
+
+// Revive undoes Kill (e.g. after a battery swap in a what-if experiment).
+func (in *Instance) Revive(id topology.NodeID) {
+	if in.dead != nil {
+		in.dead[id] = false
+	}
+}
+
+// disabled reports whether a node is excluded from the protocol.
+func (in *Instance) disabled(id topology.NodeID) bool {
+	if len(in.Cfg.Disabled) > int(id) && in.Cfg.Disabled[id] {
+		return true
+	}
+	return in.dead != nil && in.dead[id]
+}
+
+// Participants returns the nodes that take part in Phase II with the
+// configured l: covered by both trees with enough aggregator neighbors.
+// The base station is not a participant (it holds no reading).
+func (in *Instance) Participants() []topology.NodeID {
+	var out []topology.NodeID
+	for i := 1; i < in.Net.N(); i++ {
+		id := topology.NodeID(i)
+		if in.disabled(id) || in.Trees.Role[id] == tree.RoleBase {
+			continue
+		}
+		if in.Trees.CanSlice(id, in.Cfg.Slices) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RoundOutcome reports one additive aggregation round.
+type RoundOutcome struct {
+	Red, Blue           int64  // the two tree totals S_r and S_b
+	RedCount, BlueCount uint32 // aggregate-message diagnostic counts
+	Participants        int    // nodes that sliced this round
+	Bytes               uint64 // radio bytes spent on the round
+	Frames              uint64 // frames transmitted during the round
+}
+
+// Diff returns |S_b − S_r|.
+func (o RoundOutcome) Diff() int64 {
+	d := o.Blue - o.Red
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Result reports one full query.
+type Result struct {
+	Spec     aggregate.Spec
+	Outcomes []RoundOutcome // one per additive round (value rounds, then count round if any)
+	Accepted bool           // every round passed the |S_b − S_r| ≤ Th check
+	Value    float64        // the finalized statistic (red-tree sums); valid when Accepted
+	Count    uint32         // participant count used by Finalize
+}
+
+// needsCount reports whether the spec's Finalize consumes a count that must
+// itself be aggregated (privately) as an extra COUNT round.
+func needsCount(s aggregate.Spec) bool {
+	return s.Kind == aggregate.Average || s.Kind == aggregate.Variance
+}
+
+// Run answers one aggregation query. readings[i] is node i's private
+// reading; index 0 (the base station) is ignored. Nodes that cannot
+// participate contribute nothing, exactly as in the protocol.
+func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) {
+	if len(readings) != in.Net.N() {
+		return nil, fmt.Errorf("core: %d readings for %d nodes", len(readings), in.Net.N())
+	}
+	valueRounds := spec.Rounds()
+	total := valueRounds
+	if needsCount(spec) {
+		total++
+	}
+	res := &Result{Spec: spec, Accepted: true}
+	sums := make([]int64, valueRounds)
+	var count uint32
+	countSpec := aggregate.SpecFor(aggregate.Count)
+	for round := 0; round < total; round++ {
+		contribs := make([]int64, in.Net.N())
+		for i := 1; i < in.Net.N(); i++ {
+			var c int64
+			var err error
+			if round < valueRounds {
+				c, err = spec.Contribution(readings[i], round)
+			} else {
+				c, err = countSpec.Contribution(readings[i], 0)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: node %d: %w", i, err)
+			}
+			contribs[i] = c
+		}
+		out := in.runAdditiveRound(contribs)
+		res.Outcomes = append(res.Outcomes, out)
+		if out.Diff() > in.Cfg.Threshold {
+			res.Accepted = false
+		}
+		if round < valueRounds {
+			sums[round] = out.Red
+		} else {
+			count = uint32(out.Red)
+		}
+	}
+	if !needsCount(spec) && len(res.Outcomes) > 0 {
+		count = uint32(res.Outcomes[0].Participants)
+	}
+	res.Count = count
+	if res.Accepted {
+		v, err := spec.Finalize(sums, count)
+		if err != nil {
+			return nil, fmt.Errorf("core: finalize: %w", err)
+		}
+		res.Value = v
+	}
+	return res, nil
+}
+
+// RunSum is shorthand for a plain SUM query.
+func (in *Instance) RunSum(readings []int64) (*Result, error) {
+	return in.Run(aggregate.SpecFor(aggregate.Sum), readings)
+}
+
+// RunCount is shorthand for a COUNT query (every reading contributes 1).
+func (in *Instance) RunCount() (*Result, error) {
+	return in.Run(aggregate.SpecFor(aggregate.Count), make([]int64, in.Net.N()))
+}
+
+// sliceNonce builds a unique nonce per (key pair, round, slice): the high
+// bit of the low byte encodes direction so both directions of a shared key
+// never reuse a keystream.
+func sliceNonce(round uint16, src, dst topology.NodeID, idx int) uint32 {
+	dir := uint32(0)
+	if src > dst {
+		dir = 0x80
+	}
+	return uint32(round)<<8 | dir | uint32(idx&0x7f)
+}
+
+// runAdditiveRound executes Phases II and III once for the given per-node
+// additive contributions and returns the two tree totals.
+func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
+	n := in.Net.N()
+	in.round++
+	round := in.round
+	startBytes := in.Medium.TotalBytes()
+	startFrames := in.Medium.Stats().FramesSent
+
+	in.assembled = make([]assemblerPair, n)
+	for i := range in.assembled {
+		in.assembled[i] = assemblerPair{slicing.NewAssembler(), slicing.NewAssembler()}
+	}
+	in.childSum = make([]int64, n)
+	in.childCount = make([]uint32, n)
+
+	in.installReceivers(round)
+
+	// Phase II: participants slice at random offsets inside the window.
+	// The window opens either immediately (scheduled epochs, the default)
+	// or, with DisseminateQuery, when the node hears the QUERY flood.
+	participants := 0
+	t0 := in.Sim.Now()
+	type plan struct {
+		targets   slicing.Targets
+		red, blue []int64
+	}
+	plans := make(map[topology.NodeID]*plan)
+	for i := 1; i < n; i++ {
+		id := topology.NodeID(i)
+		if in.disabled(id) || in.Trees.Role[id] == tree.RoleBase {
+			continue
+		}
+		role := in.Trees.Role[id]
+		redNbrs := in.keyedTargets(id, in.Trees.RedNeighbors[id])
+		blueNbrs := in.keyedTargets(id, in.Trees.BlueNeighbors[id])
+		targets, ok := slicing.ChooseTargets(id, role == tree.RoleRed, role == tree.RoleBlue,
+			redNbrs, blueNbrs, in.Cfg.Slices, in.rand)
+		if !ok {
+			continue
+		}
+		plans[id] = &plan{
+			targets: targets,
+			red:     in.split(contribs[i]),
+			blue:    in.split(contribs[i]),
+		}
+	}
+	start := func(id topology.NodeID, at eventsim.Time) {
+		p, ok := plans[id]
+		if !ok {
+			return
+		}
+		delete(plans, id) // start at most once
+		participants++
+		in.scheduleSlices(at, round, id, packet.Red, p.targets.Red, p.red)
+		in.scheduleSlices(at, round, id, packet.Blue, p.targets.Blue, p.blue)
+	}
+	var floodBudget eventsim.Time
+	if in.Cfg.DisseminateQuery {
+		floodBudget = 1.0
+		in.floodQuery(round, start)
+	} else {
+		for i := 1; i < n; i++ {
+			start(topology.NodeID(i), t0)
+		}
+	}
+
+	// Phase III: deepest aggregators first.
+	t1 := t0 + floodBudget + in.Cfg.SliceWindow + 0.5 // drain margin for queued slices
+	maxHop := uint16(0)
+	for i := 1; i < n; i++ {
+		if r := in.Trees.Role[i]; (r == tree.RoleRed || r == tree.RoleBlue) && in.Trees.Hop[i] > maxHop {
+			maxHop = in.Trees.Hop[i]
+		}
+	}
+	for i := 1; i < n; i++ {
+		id := topology.NodeID(i)
+		role := in.Trees.Role[id]
+		if role != tree.RoleRed && role != tree.RoleBlue {
+			continue
+		}
+		slot := eventsim.Time(maxHop-in.Trees.Hop[id]) * in.Cfg.AggSlot
+		jitter := eventsim.Time(in.rand.Float64()) * in.Cfg.AggSlot / 2
+		in.Sim.At(t1+slot+jitter, func() { in.sendAggregate(round, id) })
+	}
+
+	deadline := t1 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
+	in.Sim.Run(deadline)
+
+	// Fuse collections across every base station: slices addressed to a
+	// root directly plus the partial sums its tree children delivered.
+	red := in.bsChild[packet.Red].sum
+	blue := in.bsChild[packet.Blue].sum
+	for i := 0; i < n; i++ {
+		if in.Trees.Role[i] == tree.RoleBase {
+			red += in.assembled[i].red.Total()
+			blue += in.assembled[i].blue.Total()
+		}
+	}
+	return RoundOutcome{
+		Red:          red,
+		Blue:         blue,
+		RedCount:     in.bsChild[packet.Red].count,
+		BlueCount:    in.bsChild[packet.Blue].count,
+		Participants: participants,
+		Bytes:        in.Medium.TotalBytes() - startBytes,
+		Frames:       in.Medium.Stats().FramesSent - startFrames,
+	}
+}
+
+// floodQuery broadcasts a QUERY from the base station and lets every
+// aggregator rebroadcast it once; each node's onStart fires on first
+// reception.
+func (in *Instance) floodQuery(round uint16, onStart func(id topology.NodeID, at eventsim.Time)) {
+	heard := make([]bool, in.Net.N())
+	in.onQuery = func(self topology.NodeID) {
+		if heard[self] || in.disabled(self) {
+			return
+		}
+		heard[self] = true
+		role := in.Trees.Role[self]
+		if role == tree.RoleRed || role == tree.RoleBlue {
+			in.MAC.Send(self, &packet.Packet{
+				Header: packet.Header{Kind: packet.KindQuery, Src: int32(self), Dst: packet.Broadcast, Round: round},
+			})
+		}
+		onStart(self, in.Sim.Now())
+	}
+	in.MAC.Send(0, &packet.Packet{
+		Header: packet.Header{Kind: packet.KindQuery, Src: 0, Dst: packet.Broadcast, Round: round},
+	})
+}
+
+// split produces one tree's worth of additive shares for a contribution.
+func (in *Instance) split(value int64) []int64 {
+	if in.Cfg.ShareSpread > 0 {
+		return slicing.SplitBounded(value, in.Cfg.Slices, in.Cfg.ShareSpread, in.rand)
+	}
+	return slicing.Split(value, in.Cfg.Slices, in.rand)
+}
+
+// keyedTargets filters aggregator candidates down to those the node shares
+// a link key with (a random-predistribution scheme may leave gaps).
+func (in *Instance) keyedTargets(id topology.NodeID, cands []topology.NodeID) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(cands))
+	for _, c := range cands {
+		if _, ok := in.Keys.SharedKey(id, c); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// scheduleSlices seals and schedules one tree's shares from src.
+func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.NodeID, color packet.Color, targets []topology.NodeID, shares []int64) {
+	for idx, dst := range targets {
+		if dst == src {
+			// The local share never touches the air (Section III-C.1).
+			in.addShare(src, color, src, shares[idx])
+			if in.OnLocalShare != nil {
+				in.OnLocalShare(src, color, shares[idx])
+			}
+			continue
+		}
+		key, ok := in.Keys.SharedKey(src, dst)
+		if !ok {
+			continue // filtered earlier; defensive
+		}
+		if in.OnSlice != nil {
+			in.OnSlice(src, dst, color, shares[idx])
+		}
+		sealed := linksec.Seal(key, sliceNonce(round, src, dst, idx), shares[idx])
+		p := &packet.Packet{
+			Header: packet.Header{Kind: packet.KindSlice, Src: int32(src), Dst: int32(dst), Round: round},
+			Cipher: sealed.Cipher,
+			Nonce:  sealed.Nonce,
+			Tag:    sealed.Tag,
+			Color:  color,
+		}
+		offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
+		in.Sim.At(t0+offset, func() { in.MAC.Send(src, p) })
+	}
+}
+
+// addShare folds a decrypted share into the node's per-color assembler.
+func (in *Instance) addShare(id topology.NodeID, color packet.Color, from topology.NodeID, share int64) {
+	switch color {
+	case packet.Red:
+		in.assembled[id].red.Add(from, share)
+	case packet.Blue:
+		in.assembled[id].blue.Add(from, share)
+	}
+}
+
+// installReceivers wires the per-node packet handlers for one round.
+func (in *Instance) installReceivers(round uint16) {
+	in.bsChild = map[packet.Color]*bsAccum{
+		packet.Red:  {},
+		packet.Blue: {},
+	}
+	for i := 0; i < in.Net.N(); i++ {
+		in.MAC.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
+			if p.Round != round {
+				return
+			}
+			switch p.Kind {
+			case packet.KindSlice:
+				in.onSlice(self, p)
+			case packet.KindAggregate:
+				in.onAggregate(self, p)
+			case packet.KindQuery:
+				if in.onQuery != nil {
+					in.onQuery(self)
+				}
+			}
+		})
+	}
+}
+
+func (in *Instance) onSlice(self topology.NodeID, p *packet.Packet) {
+	if in.disabled(self) {
+		return
+	}
+	key, ok := in.Keys.SharedKey(topology.NodeID(p.Src), self)
+	if !ok {
+		return
+	}
+	share, err := linksec.Open(key, linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
+	if err != nil {
+		return // forged or corrupted; drop
+	}
+	in.addShare(self, p.Color, topology.NodeID(p.Src), share)
+}
+
+func (in *Instance) onAggregate(self topology.NodeID, p *packet.Packet) {
+	if in.disabled(self) {
+		return
+	}
+	if in.Trees.Role[self] == tree.RoleBase {
+		acc := in.bsChild[p.Color]
+		if acc == nil {
+			return
+		}
+		acc.sum += p.Value
+		acc.count += p.Count
+		return
+	}
+	role := in.Trees.Role[self]
+	if role.Color() != p.Color {
+		return // cross-tree frames are ignored, preserving disjointness
+	}
+	in.childSum[self] += p.Value
+	in.childCount[self] += p.Count
+}
+
+// sendAggregate emits node id's Phase III partial sum to its tree parent.
+func (in *Instance) sendAggregate(round uint16, id topology.NodeID) {
+	if in.disabled(id) {
+		return
+	}
+	role := in.Trees.Role[id]
+	color := role.Color()
+	if color == packet.NoColor {
+		return
+	}
+	var own int64
+	if color == packet.Red {
+		own = in.assembled[id].red.Total()
+	} else {
+		own = in.assembled[id].blue.Total()
+	}
+	value := own + in.childSum[id]
+	if delta, polluted := in.polluters[id]; polluted {
+		value += delta
+	}
+	parent := in.Trees.Parent[id]
+	if parent == topology.None {
+		return
+	}
+	in.MAC.Send(id, &packet.Packet{
+		Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(parent), Round: round},
+		Value:  value,
+		Count:  in.childCount[id] + 1,
+		Color:  color,
+	})
+}

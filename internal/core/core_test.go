@@ -1,0 +1,782 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/aggregate"
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+// deploy builds an instance over a fresh paper-style deployment.
+func deploy(t *testing.T, nodes int, seed uint64, cfg Config) *Instance {
+	t.Helper()
+	net, err := topology.Random(topology.PaperConfig(nodes), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := New(net, cfg, seed+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestCountRoundTreesAgree(t *testing.T) {
+	inst := deploy(t, 400, 1, DefaultConfig())
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outcomes[0]
+	participants := int64(out.Participants)
+	if participants < int64(float64(inst.Net.N()-1)*0.85) {
+		t.Fatalf("only %d of %d nodes participated", participants, inst.Net.N()-1)
+	}
+	// The two trees should deliver nearly identical totals (Figure 6).
+	if d := out.Diff(); d > 10 {
+		t.Fatalf("|Sb-Sr| = %d (red %d, blue %d)", d, out.Red, out.Blue)
+	}
+	// And both should be near the participant count (COUNT aggregate).
+	if math.Abs(float64(out.Red)-float64(participants)) > 0.1*float64(participants) {
+		t.Fatalf("red count %d vs participants %d", out.Red, participants)
+	}
+}
+
+func TestSumMatchesParticipantSum(t *testing.T) {
+	inst := deploy(t, 400, 2, DefaultConfig())
+	readings := make([]int64, inst.Net.N())
+	r := rng.New(42)
+	for i := 1; i < len(readings); i++ {
+		readings[i] = int64(r.Intn(100))
+	}
+	res, err := inst.RunSum(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The protocol can only aggregate participants' readings; compute the
+	// reachable optimum.
+	var expect int64
+	for _, id := range inst.Participants() {
+		expect += readings[id]
+	}
+	out := res.Outcomes[0]
+	// Loss can only lose whole shares; with the generous windows of the
+	// defaults, totals should be within a few percent of expect.
+	tol := float64(expect) * 0.1
+	if math.Abs(float64(out.Red)-float64(expect)) > tol {
+		t.Fatalf("red sum %d vs expected %d", out.Red, expect)
+	}
+	if math.Abs(float64(out.Blue)-float64(expect)) > tol {
+		t.Fatalf("blue sum %d vs expected %d", out.Blue, expect)
+	}
+}
+
+// TestLossFreeExactness uses a small dense grid where contention is
+// negligible: if no frame is lost the totals must be exactly equal on both
+// trees and exactly the participant sum (Equations 5 and 6).
+func TestLossFreeExactness(t *testing.T) {
+	net, err := topology.Grid(5, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceWindow = 10 // stretch the window: collisions vanish
+	inst, err := New(net, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([]int64, net.N())
+	for i := range readings {
+		readings[i] = int64(i * 3)
+	}
+	res, err := inst.RunSum(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outcomes[0]
+	var expect int64
+	for _, id := range inst.Participants() {
+		expect += readings[id]
+	}
+	if inst.Medium.Stats().FramesCollided == 0 {
+		if out.Red != expect || out.Blue != expect {
+			t.Fatalf("loss-free totals: red %d blue %d expect %d", out.Red, out.Blue, expect)
+		}
+	} else if out.Diff() > 2*out.Diff()+10 {
+		t.Fatalf("unexpected divergence despite low load")
+	}
+	if !res.Accepted {
+		t.Fatalf("round rejected without attack: diff %d", out.Diff())
+	}
+}
+
+func TestAcceptWithoutAttack(t *testing.T) {
+	inst := deploy(t, 400, 3, DefaultConfig())
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("no-attack round rejected; diff %d", res.Outcomes[0].Diff())
+	}
+	if res.Value != float64(res.Outcomes[0].Red) {
+		t.Fatalf("finalized value %v vs red sum %d", res.Value, res.Outcomes[0].Red)
+	}
+}
+
+func TestPollutionDetected(t *testing.T) {
+	inst := deploy(t, 400, 4, DefaultConfig())
+	// Compromise a red aggregator near the base station (the paper's most
+	// serious scenario) and shift the result by +1000.
+	var attacker topology.NodeID = topology.None
+	for i := 1; i < inst.Net.N(); i++ {
+		if inst.Trees.Role[i] == tree.RoleRed && inst.Trees.Parent[i] == 0 {
+			attacker = topology.NodeID(i)
+			break
+		}
+	}
+	if attacker == topology.None {
+		for _, a := range inst.Trees.Aggregators(tree.RoleRed) {
+			attacker = a
+			break
+		}
+	}
+	inst.Pollute(attacker, 1000)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatalf("polluted round accepted: red %d blue %d", res.Outcomes[0].Red, res.Outcomes[0].Blue)
+	}
+}
+
+func TestPollutionOnBothTreesByIndividualAttackersDetected(t *testing.T) {
+	inst := deploy(t, 400, 5, DefaultConfig())
+	reds := inst.Trees.Aggregators(tree.RoleRed)
+	blues := inst.Trees.Aggregators(tree.RoleBlue)
+	if len(reds) == 0 || len(blues) == 0 {
+		t.Skip("degenerate trees")
+	}
+	// Two non-colluding attackers pollute different trees by different
+	// amounts; the totals cannot agree (Section IV-A.4).
+	inst.Pollute(reds[0], 700)
+	inst.Pollute(blues[0], -300)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("doubly-polluted round accepted")
+	}
+}
+
+func TestColludingAttackersEvadeDetection(t *testing.T) {
+	// Documented limitation (Section VI): attackers that coordinate the
+	// same delta on both trees defeat the redundancy check.
+	inst := deploy(t, 400, 6, DefaultConfig())
+	reds := inst.Trees.Aggregators(tree.RoleRed)
+	blues := inst.Trees.Aggregators(tree.RoleBlue)
+	if len(reds) == 0 || len(blues) == 0 {
+		t.Skip("degenerate trees")
+	}
+	inst.Pollute(reds[0], 500)
+	inst.Pollute(blues[0], 500)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		// Colluders can still be unlucky (loss noise), but normally the
+		// deltas cancel in the comparison.
+		t.Logf("colluders detected anyway (diff %d) — acceptable but unusual", res.Outcomes[0].Diff())
+	}
+}
+
+func TestPolluteZeroRemoves(t *testing.T) {
+	inst := deploy(t, 300, 7, DefaultConfig())
+	var agg topology.NodeID = topology.None
+	for _, a := range inst.Trees.Aggregators(tree.RoleRed) {
+		agg = a
+		break
+	}
+	if agg == topology.None {
+		t.Skip("no red aggregator")
+	}
+	inst.Pollute(agg, 12345)
+	inst.Pollute(agg, 0)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("removed polluter still pollutes")
+	}
+}
+
+func TestAverageQuery(t *testing.T) {
+	inst := deploy(t, 400, 8, DefaultConfig())
+	readings := make([]int64, inst.Net.N())
+	for i := range readings {
+		readings[i] = 50 // constant readings: average must be exactly 50
+	}
+	res, err := inst.Run(aggregate.SpecFor(aggregate.Average), readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("average round rejected: %+v", res.Outcomes)
+	}
+	if math.Abs(res.Value-50) > 0.5 {
+		t.Fatalf("average = %v, want 50", res.Value)
+	}
+	if len(res.Outcomes) != 2 {
+		t.Fatalf("average used %d rounds, want 2 (sum + count)", len(res.Outcomes))
+	}
+}
+
+func TestVarianceQuery(t *testing.T) {
+	net, err := topology.Grid(5, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceWindow = 10
+	inst, err := New(net, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([]int64, net.N())
+	for i := range readings {
+		readings[i] = int64(10 + i%2*20) // values 10 or 30
+	}
+	res, err := inst.Run(aggregate.SpecFor(aggregate.Variance), readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("variance used %d rounds, want 3", len(res.Outcomes))
+	}
+	if !res.Accepted {
+		t.Skip("loss made variance round diverge; acceptable on contended channels")
+	}
+	// True population variance of a 50/50 mix of 10 and 30 is 100; loss
+	// perturbs it slightly.
+	if res.Value < 60 || res.Value > 140 {
+		t.Fatalf("variance = %v, want near 100", res.Value)
+	}
+}
+
+func TestMaxQuery(t *testing.T) {
+	net, err := topology.Grid(5, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceWindow = 10
+	inst, err := New(net, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([]int64, net.N())
+	for i := range readings {
+		readings[i] = int64(100 + i*10)
+	}
+	res, err := inst.Run(aggregate.SpecFor(aggregate.Max), readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMax := float64(0)
+	for _, id := range inst.Participants() {
+		if v := float64(readings[id]); v > trueMax {
+			trueMax = v
+		}
+	}
+	if !res.Accepted {
+		t.Skip("max round rejected due to loss")
+	}
+	if res.Value < trueMax*0.95 || res.Value > trueMax*1.35 {
+		t.Fatalf("max estimate %v, true %v", res.Value, trueMax)
+	}
+}
+
+func TestDisabledNodesExcluded(t *testing.T) {
+	nodes := 400
+	net, err := topology.Random(topology.PaperConfig(nodes), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Disabled = make([]bool, net.N())
+	for i := 1; i <= 100; i++ {
+		cfg.Disabled[i] = true
+	}
+	inst, err := New(net, cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range inst.Participants() {
+		if cfg.Disabled[p] {
+			t.Fatalf("disabled node %d participates", p)
+		}
+	}
+	for i := 1; i <= 100; i++ {
+		if r := inst.Trees.Role[i]; r == tree.RoleRed || r == tree.RoleBlue {
+			t.Fatalf("disabled node %d became %v aggregator", i, r)
+		}
+	}
+}
+
+func TestRunValidatesReadings(t *testing.T) {
+	inst := deploy(t, 200, 13, DefaultConfig())
+	if _, err := inst.RunSum(make([]int64, 5)); err == nil {
+		t.Fatal("wrong-length readings accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net, _ := topology.Grid(3, 20, 50)
+	bad := DefaultConfig()
+	bad.Slices = 0
+	if _, err := New(net, bad, 1); err == nil {
+		t.Fatal("Slices=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.Threshold = -1
+	if _, err := New(net, bad, 1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	bad = DefaultConfig()
+	bad.SliceWindow = 0
+	if _, err := New(net, bad, 1); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestMultipleRoundsIndependent(t *testing.T) {
+	inst := deploy(t, 300, 14, DefaultConfig())
+	a, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same trees, so participant counts equal; totals close.
+	if a.Outcomes[0].Participants != b.Outcomes[0].Participants {
+		t.Fatalf("participants changed across rounds: %d vs %d",
+			a.Outcomes[0].Participants, b.Outcomes[0].Participants)
+	}
+	if !a.Accepted || !b.Accepted {
+		t.Fatal("clean rounds rejected")
+	}
+}
+
+func TestOverheadRatioVsSlices(t *testing.T) {
+	// Section IV-A.2: per-round traffic grows roughly like 2l-1 slice
+	// messages + 1 aggregate; l=2 rounds should cost notably more than
+	// l=1 rounds.
+	cfg1 := DefaultConfig()
+	cfg1.Slices = 1
+	cfg2 := DefaultConfig()
+	cfg2.Slices = 2
+	i1 := deploy(t, 400, 15, cfg1)
+	i2 := deploy(t, 400, 15, cfg2)
+	r1, err := i1.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := i2.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := float64(r1.Outcomes[0].Bytes)
+	b2 := float64(r2.Outcomes[0].Bytes)
+	ratio := b2 / b1
+	// Per-round slice messages: l=1 sends ~1 (leaf: 2, aggregator: 1),
+	// l=2 sends ~3-4. Expect a ratio comfortably above 1.5.
+	if ratio < 1.3 || ratio > 3.5 {
+		t.Fatalf("l=2/l=1 byte ratio %.2f out of expected band", ratio)
+	}
+}
+
+func TestMultipleBaseStations(t *testing.T) {
+	// Three collection points: node 0 (field center) plus two sensors
+	// promoted to base stations. Totals must fuse to the same participant
+	// count, trees stay disjoint, and the tree depth shrinks (nodes attach
+	// to the nearest root).
+	net, err := topology.Random(topology.PaperConfig(400), rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(net, DefaultConfig(), 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiCfg := DefaultConfig()
+	multiCfg.ExtraRoots = []topology.NodeID{50, 200}
+	multi, err := New(net, multiCfg, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Trees.Role[50] != tree.RoleBase || multi.Trees.Role[200] != tree.RoleBase {
+		t.Fatalf("extra roots not RoleBase: %v %v", multi.Trees.Role[50], multi.Trees.Role[200])
+	}
+	res, err := multi.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("multi-sink round rejected: %+v", res.Outcomes[0])
+	}
+	participants := int64(res.Outcomes[0].Participants)
+	if res.Outcomes[0].Red < participants*9/10 || res.Outcomes[0].Red > participants {
+		t.Fatalf("fused red total %d vs %d participants", res.Outcomes[0].Red, participants)
+	}
+	// Extra roots hold no readings.
+	for _, p := range multi.Participants() {
+		if p == 50 || p == 200 {
+			t.Fatal("root listed as participant")
+		}
+	}
+	// Depth benefit: max hop with three sinks at most that with one.
+	maxHop := func(in *Instance) uint16 {
+		var h uint16
+		for i := range in.Trees.Hop {
+			if in.Trees.Hop[i] > h {
+				h = in.Trees.Hop[i]
+			}
+		}
+		return h
+	}
+	if maxHop(multi) > maxHop(single) {
+		t.Fatalf("multi-sink max hop %d above single-sink %d", maxHop(multi), maxHop(single))
+	}
+	// Pollution detection still works across fused totals.
+	aggs := multi.Trees.Aggregators(tree.RoleRed)
+	if len(aggs) > 0 {
+		multi.Pollute(aggs[0], 800)
+		res, err = multi.RunCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted {
+			t.Fatal("pollution accepted under multiple sinks")
+		}
+	}
+}
+
+func TestExtraRootValidation(t *testing.T) {
+	net, _ := topology.Grid(3, 20, 50)
+	cfg := DefaultConfig()
+	cfg.ExtraRoots = []topology.NodeID{topology.NodeID(net.N())}
+	if _, err := New(net, cfg, 1); err == nil {
+		t.Fatal("out-of-range extra root accepted")
+	}
+	cfg.ExtraRoots = []topology.NodeID{0}
+	if _, err := New(net, cfg, 1); err == nil {
+		t.Fatal("node 0 as extra root accepted")
+	}
+}
+
+func TestRandomPredistKeysEndToEnd(t *testing.T) {
+	// iPDA over Eschenauer–Gligor key predistribution: dense rings keep
+	// almost every neighbor pair keyed, so the protocol runs essentially
+	// as with pairwise keys.
+	net, err := topology.Random(topology.PaperConfig(400), rng.New(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := linksec.NewRandomPredist(net.N(), 1000, 150, 9, rng.New(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Keys = keys
+	inst, err := New(net, cfg, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("round rejected under key predistribution: %+v", res.Outcomes[0])
+	}
+	if res.Outcomes[0].Participants < (net.N()-1)*8/10 {
+		t.Fatalf("only %d participants with dense rings", res.Outcomes[0].Participants)
+	}
+}
+
+func TestSparseKeyRingsShrinkParticipation(t *testing.T) {
+	// Tiny rings leave many neighbor pairs keyless; keyedTargets filters
+	// them out and participation drops, but totals on both trees stay
+	// consistent (equal inputs).
+	net, err := topology.Random(topology.PaperConfig(400), rng.New(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseKeys, err := linksec.NewRandomPredist(net.N(), 1000, 35, 9, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Keys = sparseKeys
+	sparse, err := New(net, cfg, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := New(net, DefaultConfig(), 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sparse.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dense.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Outcomes[0].Participants >= rd.Outcomes[0].Participants {
+		t.Fatalf("sparse rings did not shrink participation: %d vs %d",
+			rs.Outcomes[0].Participants, rd.Outcomes[0].Participants)
+	}
+	if !rs.Accepted {
+		t.Fatalf("sparse-ring round rejected: %+v", rs.Outcomes[0])
+	}
+}
+
+func TestQCompositeKeysEndToEnd(t *testing.T) {
+	net, err := topology.Random(topology.PaperConfig(400), rng.New(57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := linksec.NewQComposite(net.N(), 500, 120, 2, 9, rng.New(58))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Keys = keys
+	inst, err := New(net, cfg, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatalf("round rejected under q-composite keys: %+v", res.Outcomes[0])
+	}
+}
+
+func TestKillAggregatorLosesSubtreeAndTriggersRejection(t *testing.T) {
+	inst := deploy(t, 400, 21, DefaultConfig())
+	// Kill a red aggregator with children (one whose ID appears as some
+	// other aggregator's parent).
+	var victim topology.NodeID = topology.None
+	for i := 1; i < inst.Net.N(); i++ {
+		if inst.Trees.Role[i] != tree.RoleRed {
+			continue
+		}
+		for j := 1; j < inst.Net.N(); j++ {
+			if inst.Trees.Parent[j] == topology.NodeID(i) {
+				victim = topology.NodeID(i)
+				break
+			}
+		}
+		if victim != topology.None {
+			break
+		}
+	}
+	if victim == topology.None {
+		t.Skip("no red aggregator with children")
+	}
+	inst.Kill(victim)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The red tree lost the victim's whole subtree, so the trees disagree
+	// by more than Th and the base station rejects — node failures and
+	// attacks are indistinguishable to it (Sec. III-A).
+	if res.Accepted {
+		t.Fatalf("round accepted despite dead aggregator: red %d blue %d",
+			res.Outcomes[0].Red, res.Outcomes[0].Blue)
+	}
+	// After revival the next round is clean again.
+	inst.Revive(victim)
+	res, err = inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("round rejected after revival")
+	}
+}
+
+func TestKillLeafOnlyLosesOneReading(t *testing.T) {
+	inst := deploy(t, 400, 22, DefaultConfig())
+	base, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaf topology.NodeID = topology.None
+	for i := 1; i < inst.Net.N(); i++ {
+		if inst.Trees.Role[i] == tree.RoleLeaf && inst.Trees.CanSlice(topology.NodeID(i), 2) {
+			leaf = topology.NodeID(i)
+			break
+		}
+	}
+	if leaf == topology.None {
+		t.Skip("no participating leaf")
+	}
+	inst.Kill(leaf)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Fatal("round rejected after one leaf died")
+	}
+	if res.Outcomes[0].Participants != base.Outcomes[0].Participants-1 {
+		t.Fatalf("participants %d, want %d", res.Outcomes[0].Participants, base.Outcomes[0].Participants-1)
+	}
+}
+
+func TestDisseminateQuery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisseminateQuery = true
+	withFlood := deploy(t, 400, 23, cfg)
+	resFlood, err := withFlood.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resFlood.Accepted {
+		t.Fatalf("disseminated round rejected: %+v", resFlood.Outcomes[0])
+	}
+	// The flood reaches essentially every participant in a dense network.
+	want := len(withFlood.Participants())
+	got := resFlood.Outcomes[0].Participants
+	if got < want*95/100 {
+		t.Fatalf("flood reached %d of %d participants", got, want)
+	}
+	// And costs extra traffic versus the scheduled epoch.
+	scheduled := deploy(t, 400, 23, DefaultConfig())
+	resSched, err := scheduled.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFlood.Outcomes[0].Frames <= resSched.Outcomes[0].Frames {
+		t.Fatalf("flooded round frames %d not above scheduled %d",
+			resFlood.Outcomes[0].Frames, resSched.Outcomes[0].Frames)
+	}
+}
+
+func TestFadingLossARQRecovers(t *testing.T) {
+	// 20% independent fading loss: the ARQ turns it into retries, and the
+	// round still completes with agreeing trees.
+	cfg := DefaultConfig()
+	cfg.LossRate = 0.2
+	inst := deploy(t, 400, 31, cfg)
+	res, err := inst.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.MAC.Stats().Retries == 0 {
+		t.Fatal("no retries at 20% fading; loss model inert")
+	}
+	if !res.Accepted {
+		t.Fatalf("fading round rejected: %+v", res.Outcomes[0])
+	}
+	// Fading also hits HELLO broadcasts (no ARQ), so participation may
+	// dip slightly, but the dense network stays well covered.
+	if res.Outcomes[0].Participants < (inst.Net.N()-1)*7/10 {
+		t.Fatalf("participation collapsed under fading: %d", res.Outcomes[0].Participants)
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	net, _ := topology.Grid(3, 20, 50)
+	cfg := DefaultConfig()
+	cfg.LossRate = 1.0
+	if _, err := New(net, cfg, 1); err == nil {
+		t.Fatal("LossRate=1 accepted")
+	}
+	cfg.LossRate = -0.1
+	if _, err := New(net, cfg, 1); err == nil {
+		t.Fatal("negative LossRate accepted")
+	}
+}
+
+// TestCongestionLossBehavior verifies the loss model end to end: with the
+// default relaxed slicing window the ARQ recovers everything and the trees
+// agree exactly; compressing the window to 0.1 s congests the channel so
+// some retries exhaust, and the trees diverge — but only by a handful of
+// counts, the regime that justifies the paper's Th = 5.
+func TestCongestionLossBehavior(t *testing.T) {
+	run := func(window float64, seed uint64) (diff int64, dropped uint64) {
+		net, err := topology.Random(topology.PaperConfig(500), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.SliceWindow = eventsim.Time(window)
+		in, err := New(net, cfg, seed+9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := in.RunCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outcomes[0].Diff(), in.MAC.Stats().Dropped
+	}
+	var congestedDrops uint64
+	var worstDiff int64
+	for _, seed := range []uint64{77, 78, 79} {
+		relaxedDiff, relaxedDrops := run(2.0, seed)
+		if relaxedDrops != 0 || relaxedDiff != 0 {
+			t.Fatalf("seed %d: relaxed window lost frames: diff=%d drops=%d", seed, relaxedDiff, relaxedDrops)
+		}
+		diff, drops := run(0.08, seed)
+		congestedDrops += drops
+		if diff > worstDiff {
+			worstDiff = diff
+		}
+	}
+	if congestedDrops == 0 {
+		t.Fatal("congested windows produced no drops across seeds; loss model inert")
+	}
+	if worstDiff > 50 {
+		t.Fatalf("congested diff %d implausibly large", worstDiff)
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	run := func() (int64, int64) {
+		net, _ := topology.Random(topology.PaperConfig(250), rng.New(77))
+		inst, err := New(net, DefaultConfig(), 88)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := inst.RunCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outcomes[0].Red, res.Outcomes[0].Blue
+	}
+	r1, b1 := run()
+	r2, b2 := run()
+	if r1 != r2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", r1, b1, r2, b2)
+	}
+}

@@ -1,0 +1,149 @@
+// Package eventsim is a deterministic discrete-event simulation kernel —
+// the substitute for the ns-2 scheduler the paper's evaluation runs on.
+//
+// Events are callbacks ordered by (time, sequence number); ties in time are
+// broken by scheduling order, so a run is a pure function of the initial
+// schedule and the random streams the callbacks consume. The kernel is
+// single-threaded by design: reproducibility matters more than parallelism
+// inside one simulated network, and the experiment harness parallelizes
+// across independent trials instead.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time float64
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Handle allows a scheduled event to be cancelled before it fires.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the handle.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.dead }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is the simulation kernel. The zero value is ready to use.
+type Sim struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// New returns a fresh simulation at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled (including
+// cancelled-but-unreaped ones).
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a protocol bug, never a recoverable condition.
+func (s *Sim) At(t Time, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(float64(t)) {
+		panic("eventsim: scheduling at NaN time")
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Sim) After(d Time, fn func()) Handle {
+	return s.At(s.now+d, fn)
+}
+
+// Halt stops the run: Run returns after the current event completes.
+func (s *Sim) Halt() { s.halted = true }
+
+// Run executes events in order until the queue drains, Halt is called, or
+// the simulated time would exceed deadline (events beyond the deadline stay
+// unexecuted). It returns the number of events fired by this call.
+func (s *Sim) Run(deadline Time) uint64 {
+	start := s.fired
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+	}
+	if s.now < deadline && len(s.queue) == 0 && !math.IsInf(float64(deadline), 1) {
+		// Advance the clock to the deadline so successive Run calls see
+		// monotonic time even over idle periods.
+		s.now = deadline
+	}
+	return s.fired - start
+}
+
+// RunAll executes events until the queue drains or Halt is called, with no
+// time limit. It returns the number of events fired by this call.
+func (s *Sim) RunAll() uint64 {
+	return s.Run(Time(math.Inf(1)))
+}

@@ -1,0 +1,182 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+func TestOrderByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.RunAll()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func() { fired = true })
+	h.Cancel()
+	if !h.Cancelled() {
+		t.Fatal("Cancelled() false after Cancel")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling twice is a no-op.
+	h.Cancel()
+}
+
+func TestDeadline(t *testing.T) {
+	s := New()
+	var got []Time
+	for _, tt := range []Time{1, 2, 3, 4, 5} {
+		tt := tt
+		s.At(tt, func() { got = append(got, tt) })
+	}
+	n := s.Run(3)
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("Run(3) fired %d events: %v", n, got)
+	}
+	// Remaining events still fire on a later Run.
+	s.Run(10)
+	if len(got) != 5 {
+		t.Fatalf("second Run left events: %v", got)
+	}
+}
+
+func TestIdleClockAdvancesToDeadline(t *testing.T) {
+	s := New()
+	s.Run(7)
+	if s.Now() != 7 {
+		t.Fatalf("idle Run left Now at %v", s.Now())
+	}
+	// Scheduling after an idle Run must not go backwards.
+	fired := false
+	s.After(1, func() { fired = true })
+	s.Run(10)
+	if !fired || s.Now() != 10 {
+		t.Fatalf("post-idle event handling broken: fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++; s.Halt() })
+	s.At(2, func() { count++ })
+	s.RunAll()
+	if count != 1 {
+		t.Fatalf("Halt did not stop run, count = %d", count)
+	}
+	// A subsequent Run resumes.
+	s.RunAll()
+	if count != 2 {
+		t.Fatalf("resume after Halt failed, count = %d", count)
+	}
+}
+
+func TestSchedulingDuringRun(t *testing.T) {
+	s := New()
+	var got []Time
+	s.At(1, func() {
+		got = append(got, s.Now())
+		s.At(1.5, func() { got = append(got, s.Now()) })
+		s.After(0, func() { got = append(got, s.Now()) }) // same-time event
+	})
+	s.At(2, func() { got = append(got, s.Now()) })
+	s.RunAll()
+	want := []Time{1, 1, 1.5, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.RunAll()
+	if s.Fired() != 2 || s.Pending() != 0 {
+		t.Fatalf("Fired=%d Pending=%d", s.Fired(), s.Pending())
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	s := New()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		s.At(Time(i%997), func() { count++ })
+	}
+	s.RunAll()
+	if count != n {
+		t.Fatalf("fired %d of %d", count, n)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.After(Time(i%100)*0.001, func() {})
+		if i%1024 == 0 {
+			s.RunAll()
+		}
+	}
+	s.RunAll()
+}

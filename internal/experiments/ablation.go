@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/metrics"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+// KAblation sweeps the aggregator-budget parameter k of Section III-B
+// (the paper fixes k = 4): larger k means more aggregators, hence better
+// coverage but more traffic. The table shows the trade-off the paper's
+// "value k balances the coverage of the aggregators and communication
+// overhead" sentence describes.
+func KAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "kablation",
+		Title: "Aggregator budget k: coverage vs traffic (Sec. III-B ablation)",
+		Columns: []string{
+			"k", "aggregator frac", "covered both", "participate l=2", "round bytes",
+		},
+		Notes: []string{"N=400 deployments; paper recommends k=4"},
+	}
+	trials := o.trials(10)
+	for ki, k := range []int{2, 4, 6, 8, 12} {
+		type out struct {
+			aggFrac, covered, part, bytes float64
+			ok                            bool
+		}
+		outs := make([]out, trials)
+		forEachTrial(Options{Seed: o.Seed + uint64(ki)*809, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+			net, err := deployment(400, r.Split(1))
+			if err != nil {
+				return
+			}
+			cfg := core.DefaultConfig()
+			cfg.Tree.K = k
+			in, err := core.New(net, cfg, r.Split(2).Uint64())
+			if err != nil {
+				return
+			}
+			res, err := in.RunCount()
+			if err != nil {
+				return
+			}
+			aggs := len(in.Trees.Aggregators(tree.RoleRed)) + len(in.Trees.Aggregators(tree.RoleBlue))
+			outs[trial] = out{
+				aggFrac: float64(aggs) / float64(net.N()-1),
+				covered: metrics.CoverageFraction(in.Trees, net.N()),
+				part:    metrics.ParticipationFraction(in.Trees, 2, net.N()),
+				bytes:   float64(res.Outcomes[0].Bytes),
+				ok:      true,
+			}
+		})
+		var aggFrac, covered, part, bytes stats.Sample
+		for _, out := range outs {
+			if !out.ok {
+				continue
+			}
+			aggFrac.Add(out.aggFrac)
+			covered.Add(out.covered)
+			part.Add(out.part)
+			bytes.Add(out.bytes)
+		}
+		t.AddRow(
+			d(int64(k)), f(aggFrac.Mean()), f(covered.Mean()), f(part.Mean()), f(bytes.Mean()),
+		)
+	}
+	return t, nil
+}
+
+// AdaptiveAblation compares the paper's adaptive role rule (Equation 1)
+// against the fixed rule (Equation 2): the adaptive rule should cut
+// aggregator count and traffic at equal coverage in dense networks.
+func AdaptiveAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "adaptive",
+		Title: "Adaptive (Eq.1) vs fixed (Eq.2) role selection",
+		Columns: []string{
+			"nodes", "policy", "aggregator frac", "covered both", "round bytes",
+		},
+	}
+	trials := o.trials(10)
+	for si, n := range o.sizes() {
+		for pi, adaptive := range []bool{true, false} {
+			type out struct {
+				aggFrac, covered, bytes float64
+				ok                      bool
+			}
+			outs := make([]out, trials)
+			forEachTrial(Options{Seed: o.Seed + uint64(si)*907 + uint64(pi), Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+				net, err := deployment(n, r.Split(1))
+				if err != nil {
+					return
+				}
+				cfg := core.DefaultConfig()
+				cfg.Tree.Adaptive = adaptive
+				in, err := core.New(net, cfg, r.Split(2).Uint64())
+				if err != nil {
+					return
+				}
+				res, err := in.RunCount()
+				if err != nil {
+					return
+				}
+				aggs := len(in.Trees.Aggregators(tree.RoleRed)) + len(in.Trees.Aggregators(tree.RoleBlue))
+				outs[trial] = out{
+					aggFrac: float64(aggs) / float64(net.N()-1),
+					covered: metrics.CoverageFraction(in.Trees, net.N()),
+					bytes:   float64(res.Outcomes[0].Bytes),
+					ok:      true,
+				}
+			})
+			var aggFrac, covered, bytes stats.Sample
+			for _, out := range outs {
+				if !out.ok {
+					continue
+				}
+				aggFrac.Add(out.aggFrac)
+				covered.Add(out.covered)
+				bytes.Add(out.bytes)
+			}
+			policy := "adaptive"
+			if !adaptive {
+				policy = "fixed"
+			}
+			t.AddRow(
+				d(int64(n)), policy, f(aggFrac.Mean()), f(covered.Mean()), f(bytes.Mean()),
+			)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,188 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV), plus the ablations DESIGN.md calls out.
+//
+// Each experiment function builds the workload, sweeps the paper's
+// parameter axis, fans independent trials out across workers, and returns
+// a Table whose rows mirror what the paper plots: the x axis in the first
+// column and one column per curve. cmd/ipda-bench prints them;
+// EXPERIMENTS.md records a reference run against the paper's reported
+// shapes.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Options control an experiment sweep.
+type Options struct {
+	// Sizes is the network-size axis; nil selects the paper's
+	// {200, 300, 400, 500, 600}.
+	Sizes []int
+	// Trials is the number of independent deployments per point; 0
+	// selects each experiment's default (the paper uses 50 for Figure 6).
+	Trials int
+	// Seed drives all randomness; equal options give equal tables.
+	Seed uint64
+	// Workers bounds trial parallelism; 0 selects GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) sizes() []int {
+	if len(o.Sizes) == 0 {
+		return []int{200, 300, 400, 500, 600}
+	}
+	return o.Sizes
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials <= 0 {
+		return def
+	}
+	return o.Trials
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is one experiment's output: the rows the paper's table or figure
+// reports.
+type Table struct {
+	ID      string // experiment id from DESIGN.md, e.g. "fig6"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row. Values beyond len(Columns) are dropped;
+// missing cells print empty.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(t.Columns))
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as RFC 4180 CSV (header row first). Notes are
+// not emitted — CSV is for plotting pipelines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		copy(cells, row)
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// forEachTrial runs fn for trials independent trials across the worker
+// pool, giving each a private derived random stream. Panics inside fn
+// propagate. Results must be written into trial-indexed storage by fn.
+func forEachTrial(o Options, trials int, fn func(trial int, r *rng.Stream)) {
+	root := rng.New(o.Seed)
+	workers := o.workers()
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	panics := make(chan any, trials)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics <- p
+						}
+					}()
+					fn(trial, root.Split(uint64(trial)+1))
+				}()
+			}
+		}()
+	}
+	for trial := 0; trial < trials; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// deployment builds the paper's uniform random deployment for one trial.
+func deployment(nodes int, r *rng.Stream) (*topology.Network, error) {
+	return topology.Random(topology.PaperConfig(nodes), r)
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// d formats an integer cell.
+func d(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/analysis"
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/tag"
+)
+
+// trafficOut is one trial's byte/frame accounting for one protocol.
+type trafficOut struct {
+	bytes         float64 // total on-air bytes, tree construction + round
+	protocolBytes float64 // excluding MAC ACK frames
+	dataFrames    float64 // protocol frames put on the air (excl. ACKs)
+}
+
+// Fig7 reproduces Figure 7: total bandwidth consumption of one COUNT
+// query (tree construction + aggregation round) as a function of network
+// size, for TAG, iPDA l=1 and iPDA l=2. The paper's analysis predicts a
+// message-count ratio of (2l+1)/2 over TAG.
+func Fig7(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig7",
+		Title: "Bandwidth consumption of iPDA vs TAG (Figure 7)",
+		Columns: []string{
+			"nodes",
+			"TAG bytes", "iPDA l=1 bytes", "iPDA l=2 bytes",
+			"frames/node TAG", "frames/node l=1", "frames/node l=2",
+			"ratio l=1", "ratio l=2",
+		},
+		Notes: []string{
+			"bytes include MAC ACK traffic; frames/node counts protocol frames only",
+			fmt.Sprintf("analysis (Sec. IV-A.2) predicts frame ratios %.2f (l=1) and %.2f (l=2)",
+				analysis.OverheadRatio(1), analysis.OverheadRatio(2)),
+		},
+	}
+	ackSize := uint64((&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size())
+	trials := o.trials(10)
+	for si, n := range o.sizes() {
+		tagOut := make([]trafficOut, trials)
+		l1Out := make([]trafficOut, trials)
+		l2Out := make([]trafficOut, trials)
+		forEachTrial(Options{Seed: o.Seed + uint64(si)*211, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+			net, err := deployment(n, r.Split(1))
+			if err != nil {
+				return
+			}
+			// TAG.
+			tg, err := tag.New(net, tag.DefaultConfig(), r.Split(2).Uint64())
+			if err != nil {
+				return
+			}
+			if _, err := tg.RunCount(); err != nil {
+				return
+			}
+			tagOut[trial] = accounting(tg.Medium.TotalBytes(), tg.MAC.Stats().AcksSent, tg.MAC.Stats().Sent, ackSize)
+			// iPDA l=1 and l=2.
+			for _, l := range []int{1, 2} {
+				cfg := core.DefaultConfig()
+				cfg.Slices = l
+				in, err := core.New(net, cfg, r.Split(uint64(10+l)).Uint64())
+				if err != nil {
+					return
+				}
+				if _, err := in.RunCount(); err != nil {
+					return
+				}
+				out := accounting(in.Medium.TotalBytes(), in.MAC.Stats().AcksSent, in.MAC.Stats().Sent, ackSize)
+				if l == 1 {
+					l1Out[trial] = out
+				} else {
+					l2Out[trial] = out
+				}
+			}
+		})
+		mean := func(outs []trafficOut, get func(trafficOut) float64) float64 {
+			var s stats.Sample
+			for _, out := range outs {
+				if out.bytes > 0 {
+					s.Add(get(out))
+				}
+			}
+			return s.Mean()
+		}
+		nodes := float64(n + 1)
+		tb := mean(tagOut, func(o trafficOut) float64 { return o.bytes })
+		b1 := mean(l1Out, func(o trafficOut) float64 { return o.bytes })
+		b2 := mean(l2Out, func(o trafficOut) float64 { return o.bytes })
+		ft := mean(tagOut, func(o trafficOut) float64 { return o.dataFrames }) / nodes
+		f1 := mean(l1Out, func(o trafficOut) float64 { return o.dataFrames }) / nodes
+		f2 := mean(l2Out, func(o trafficOut) float64 { return o.dataFrames }) / nodes
+		t.AddRow(
+			d(int64(n)),
+			f(tb), f(b1), f(b2),
+			f(ft), f(f1), f(f2),
+			f(f1/ft), f(f2/ft),
+		)
+	}
+	return t, nil
+}
+
+func accounting(totalBytes, acks, sent uint64, ackSize uint64) trafficOut {
+	return trafficOut{
+		bytes:         float64(totalBytes),
+		protocolBytes: float64(totalBytes - acks*ackSize),
+		dataFrames:    float64(sent),
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/metrics"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/tag"
+)
+
+// Fig8 reproduces Figure 8: (a) fraction of nodes covered by both trees,
+// (b) fraction participating in the aggregation (enough neighbors to send
+// l slices), and (c) COUNT accuracy of iPDA (l=1, l=2) vs TAG, all as a
+// function of network size.
+func Fig8(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig8",
+		Title: "Coverage, participation and accuracy (Figure 8 a/b/c)",
+		Columns: []string{
+			"nodes",
+			"covered both",
+			"participate l=1", "participate l=2",
+			"accuracy l=1", "accuracy l=2", "accuracy TAG",
+		},
+		Notes: []string{
+			"accuracy = collected COUNT / true node count (Sec. IV-B.3)",
+		},
+	}
+	trials := o.trials(10)
+	for si, n := range o.sizes() {
+		type out struct {
+			covered, part1, part2 float64
+			acc1, acc2, accTag    float64
+			ok                    bool
+		}
+		outs := make([]out, trials)
+		forEachTrial(Options{Seed: o.Seed + uint64(si)*307, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+			net, err := deployment(n, r.Split(1))
+			if err != nil {
+				return
+			}
+			truth := float64(n)
+			var res out
+			for _, l := range []int{1, 2} {
+				cfg := core.DefaultConfig()
+				cfg.Slices = l
+				in, err := core.New(net, cfg, r.Split(uint64(l)).Uint64())
+				if err != nil {
+					return
+				}
+				q, err := in.RunCount()
+				if err != nil {
+					return
+				}
+				acc := metrics.Accuracy(float64(q.Outcomes[0].Red), truth)
+				if l == 1 {
+					res.covered = metrics.CoverageFraction(in.Trees, net.N())
+					res.part1 = metrics.ParticipationFraction(in.Trees, 1, net.N())
+					res.acc1 = acc
+				} else {
+					res.part2 = metrics.ParticipationFraction(in.Trees, 2, net.N())
+					res.acc2 = acc
+				}
+			}
+			tg, err := tag.New(net, tag.DefaultConfig(), r.Split(7).Uint64())
+			if err != nil {
+				return
+			}
+			q, err := tg.RunCount()
+			if err != nil {
+				return
+			}
+			res.accTag = metrics.Accuracy(float64(q.Outcomes[0].Sum), truth)
+			res.ok = true
+			outs[trial] = res
+		})
+		var covered, part1, part2, acc1, acc2, accTag stats.Sample
+		for _, out := range outs {
+			if !out.ok {
+				continue
+			}
+			covered.Add(out.covered)
+			part1.Add(out.part1)
+			part2.Add(out.part2)
+			acc1.Add(out.acc1)
+			acc2.Add(out.acc2)
+			accTag.Add(out.accTag)
+		}
+		t.AddRow(
+			d(int64(n)),
+			f(covered.Mean()),
+			f(part1.Mean()), f(part2.Mean()),
+			f(acc1.Mean()), f(acc2.Mean()), f(accTag.Mean()),
+		)
+	}
+	return t, nil
+}

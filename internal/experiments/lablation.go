@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"github.com/ipda-sim/ipda/internal/attack"
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/metrics"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stats"
+)
+
+// LAblation sweeps the slice count l — the paper's central tuning knob
+// ("we recommend l = 2 in iPDA") — and reports the three quantities it
+// trades off in one table: empirical disclosure under a p_x = 0.1
+// eavesdropper, per-round traffic, and participation (larger l needs more
+// aggregator neighbors, Sec. IV-B.3 factor (b)).
+func LAblation(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "lablation",
+		Title: "Slice count l: privacy vs overhead vs participation (Sec. IV-A.3)",
+		Columns: []string{
+			"l", "disclosed (px=0.1)", "round bytes", "participate", "msgs/node (2l+1)",
+		},
+		Notes: []string{
+			"N=400 deployments; the paper recommends l=2",
+		},
+	}
+	trials := o.trials(8)
+	for li, l := range []int{1, 2, 3, 4} {
+		type out struct {
+			disclosed, bytes, part float64
+			ok                     bool
+		}
+		outs := make([]out, trials)
+		forEachTrial(Options{Seed: o.Seed + uint64(li)*1201, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+			net, err := deployment(400, r.Split(1))
+			if err != nil {
+				return
+			}
+			cfg := core.DefaultConfig()
+			cfg.Slices = l
+			in, err := core.New(net, cfg, r.Split(2).Uint64())
+			if err != nil {
+				return
+			}
+			eav := attack.NewEavesdropper(0.1, r.Split(3))
+			eav.Attach(in)
+			res, err := in.RunCount()
+			if err != nil {
+				return
+			}
+			outs[trial] = out{
+				disclosed: eav.DiscloseRate(in.Participants()),
+				bytes:     float64(res.Outcomes[0].Bytes),
+				part:      metrics.ParticipationFraction(in.Trees, l, net.N()),
+				ok:        true,
+			}
+		})
+		var disclosed, bytes, part stats.Sample
+		for _, out := range outs {
+			if !out.ok {
+				continue
+			}
+			disclosed.Add(out.disclosed)
+			bytes.Add(out.bytes)
+			part.Add(out.part)
+		}
+		t.AddRow(
+			d(int64(l)),
+			f(disclosed.Mean()),
+			f(bytes.Mean()),
+			f(part.Mean()),
+			d(int64(2*l+1)),
+		)
+	}
+	return t, nil
+}

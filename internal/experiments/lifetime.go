@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/energy"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/tag"
+)
+
+// Lifetime quantifies the energy cost of iPDA's protections — the paper's
+// introduction motivates aggregation by network lifetime, and iPDA's
+// (2l+1)/2 message overhead translates directly into shorter life. Each
+// protocol runs a few COUNT rounds under the first-order radio energy
+// model; the table reports per-round drain at the bottleneck node and the
+// extrapolated rounds until the first sensor dies.
+func Lifetime(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "lifetime",
+		Title: "Network lifetime under the first-order radio model",
+		Columns: []string{
+			"nodes",
+			"mJ/round TAG", "mJ/round iPDA l=2",
+			"lifetime TAG", "lifetime iPDA l=2", "lifetime ratio",
+		},
+		Notes: []string{
+			"mJ/round = per-round drain at the bottleneck (max-spend) node, including idle listening",
+			"lifetime = extrapolated COUNT rounds until the first sensor depletes a 2 J battery",
+		},
+	}
+	const measureRounds = 3
+	trials := o.trials(5)
+	for si, n := range o.sizes() {
+		type out struct {
+			tagDrain, ipdaDrain float64 // joules per round at bottleneck
+			ok                  bool
+		}
+		outs := make([]out, trials)
+		forEachTrial(Options{Seed: o.Seed + uint64(si)*1103, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+			net, err := deployment(n, r.Split(1))
+			if err != nil {
+				return
+			}
+			model := energy.DefaultModel()
+
+			tg, err := tag.New(net, tag.DefaultConfig(), r.Split(2).Uint64())
+			if err != nil {
+				return
+			}
+			tagMeter, err := energy.NewMeter(net.N(), model)
+			if err != nil {
+				return
+			}
+			tg.Medium.SetMeter(tagMeter)
+			tagStart := tg.Sim.Now()
+			for round := 0; round < measureRounds; round++ {
+				if _, err := tg.RunCount(); err != nil {
+					return
+				}
+			}
+			tagMeter.ChargeIdle(float64(tg.Sim.Now() - tagStart))
+
+			in, err := core.New(net, core.DefaultConfig(), r.Split(3).Uint64())
+			if err != nil {
+				return
+			}
+			ipdaMeter, err := energy.NewMeter(net.N(), model)
+			if err != nil {
+				return
+			}
+			in.Medium.SetMeter(ipdaMeter)
+			ipdaStart := in.Sim.Now()
+			for round := 0; round < measureRounds; round++ {
+				if _, err := in.RunCount(); err != nil {
+					return
+				}
+			}
+			ipdaMeter.ChargeIdle(float64(in.Sim.Now() - ipdaStart))
+
+			outs[trial] = out{
+				tagDrain:  tagMeter.MaxSpent() / measureRounds,
+				ipdaDrain: ipdaMeter.MaxSpent() / measureRounds,
+				ok:        true,
+			}
+		})
+		var tagDrain, ipdaDrain stats.Sample
+		for _, out := range outs {
+			if !out.ok {
+				continue
+			}
+			tagDrain.Add(out.tagDrain)
+			ipdaDrain.Add(out.ipdaDrain)
+		}
+		battery := energy.DefaultModel().Battery
+		tagLife := battery / tagDrain.Mean()
+		ipdaLife := battery / ipdaDrain.Mean()
+		t.AddRow(
+			d(int64(n)),
+			f(tagDrain.Mean()*1e3), f(ipdaDrain.Mean()*1e3),
+			f(tagLife), f(ipdaLife), f(tagLife/ipdaLife),
+		)
+	}
+	return t, nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func is one experiment runner.
+type Func func(Options) (*Table, error)
+
+// Registry maps experiment IDs (as used by cmd/ipda-bench -exp) to their
+// runners. The IDs match the experiment index in DESIGN.md.
+var Registry = map[string]Func{
+	"table1":    Table1,
+	"fig5":      Fig5,
+	"fig6":      Fig6,
+	"fig7":      Fig7,
+	"fig8":      Fig8,
+	"coverage":  CoverageBound,
+	"overhead":  Overhead,
+	"pollution": Pollution,
+	"th":        ThSweep,
+	"dos":       DoS,
+	"indist":    Indistinguishability,
+	"kablation": KAblation,
+	"lablation": LAblation,
+	"keys":      Keys,
+	"adaptive":  AdaptiveAblation,
+	"lifetime":  Lifetime,
+	"mtrees":    MTrees,
+}
+
+// Names returns the registered experiment IDs in stable order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for name := range Registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by ID.
+func Run(name string, o Options) (*Table, error) {
+	fn, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return fn(o)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/analysis"
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/metrics"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// CoverageBound reproduces the Section IV-A.1 analysis: the Equation (10)
+// Markov bound and the expected covered fraction against the measured
+// coverage of deployed trees (non-adaptive roles, pr = pb = 0.5, matching
+// the analysis' assumption of random coloring).
+func CoverageBound(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "coverage",
+		Title: "Coverage of aggregation trees: theory vs simulation (Sec. IV-A.1)",
+		Columns: []string{
+			"nodes", "avg degree",
+			"Eq.(10) bound", "expected covered", "measured covered",
+		},
+		Notes: []string{
+			"Eq.(10) can be vacuous (negative) at low density; expected covered = 1 - mean p_i",
+			fmt.Sprintf("paper's d-regular example (N=1000, d=10): %s (matches 1 - N·2^{-2d}; Eq.(10) itself is vacuous there)",
+				f(analysis.PaperRegularExample(1000, 10))),
+		},
+	}
+	trials := o.trials(10)
+	for si, n := range o.sizes() {
+		type out struct {
+			degree, bound, expected, measured float64
+			ok                                bool
+		}
+		outs := make([]out, trials)
+		forEachTrial(Options{Seed: o.Seed + uint64(si)*401, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
+			net, err := deployment(n, r.Split(1))
+			if err != nil {
+				return
+			}
+			degrees := make([]int, 0, net.N()-1)
+			for i := 1; i < net.N(); i++ {
+				degrees = append(degrees, net.Degree(topology.NodeID(i)))
+			}
+			cfg := core.DefaultConfig()
+			cfg.Tree.Adaptive = false // pr = pb = 0.5, the analysis' model
+			in, err := core.New(net, cfg, r.Split(2).Uint64())
+			if err != nil {
+				return
+			}
+			outs[trial] = out{
+				degree:   net.AvgDegree(),
+				bound:    analysis.CoverageLowerBound(degrees, 0.5, 0.5),
+				expected: analysis.ExpectedFullyCoveredFraction(degrees, 0.5, 0.5),
+				measured: metrics.CoverageFraction(in.Trees, net.N()),
+				ok:       true,
+			}
+		})
+		var degree, bound, expected, measured stats.Sample
+		for _, o := range outs {
+			if !o.ok {
+				continue
+			}
+			degree.Add(o.degree)
+			bound.Add(o.bound)
+			expected.Add(o.expected)
+			measured.Add(o.measured)
+		}
+		t.AddRow(
+			d(int64(n)), f(degree.Mean()),
+			f(bound.Mean()), f(expected.Mean()), f(measured.Mean()),
+		)
+	}
+	return t, nil
+}
+
+// Overhead reproduces the Section IV-A.2 message analysis (Figure 4): the
+// per-node message counts of TAG (2) and iPDA (2l+1) and the resulting
+// (2l+1)/2 ratio for l ∈ {1, 2, 3}.
+func Overhead(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "overhead",
+		Title:   "Per-node message counts and overhead ratio (Sec. IV-A.2, Figure 4)",
+		Columns: []string{"l", "TAG msgs/node", "iPDA msgs/node", "ratio (2l+1)/2"},
+	}
+	for _, l := range []int{1, 2, 3} {
+		tagMsgs, ipdaMsgs := analysis.MessagesPerNode(l)
+		t.AddRow(d(int64(l)), d(int64(tagMsgs)), d(int64(ipdaMsgs)), f(analysis.OverheadRatio(l)))
+	}
+	return t, nil
+}

@@ -1,0 +1,164 @@
+// Package geom provides the 2D geometry primitives the deployment and
+// radio-range models are built on: points, rectangles, and a uniform-grid
+// spatial index for fast fixed-radius neighbor queries.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the deployment plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. Use this
+// for range comparisons to avoid the square root.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is an axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns the square [0,side] x [0,side].
+func Square(side float64) Rect {
+	return Rect{0, 0, side, side}
+}
+
+// Width returns the extent of r along X.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the extent of r along Y.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// GridIndex is a uniform-grid spatial index over a fixed set of points,
+// specialized for fixed-radius neighbor queries: cells are sized to the
+// query radius so a query inspects at most 9 cells.
+type GridIndex struct {
+	bounds   Rect
+	cellSize float64
+	cols     int
+	rows     int
+	cells    [][]int32 // point indices per cell
+	points   []Point
+}
+
+// NewGridIndex builds an index over points with cells sized for queries of
+// the given radius. The radius must be positive.
+func NewGridIndex(bounds Rect, points []Point, radius float64) *GridIndex {
+	if radius <= 0 {
+		panic("geom: NewGridIndex radius must be positive")
+	}
+	g := &GridIndex{
+		bounds:   bounds,
+		cellSize: radius,
+		points:   points,
+	}
+	g.cols = int(math.Ceil(bounds.Width()/radius)) + 1
+	g.rows = int(math.Ceil(bounds.Height()/radius)) + 1
+	if g.cols < 1 {
+		g.cols = 1
+	}
+	if g.rows < 1 {
+		g.rows = 1
+	}
+	g.cells = make([][]int32, g.cols*g.rows)
+	for i, p := range points {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], int32(i))
+	}
+	return g
+}
+
+func (g *GridIndex) cellOf(p Point) int {
+	cx := int((p.X - g.bounds.MinX) / g.cellSize)
+	cy := int((p.Y - g.bounds.MinY) / g.cellSize)
+	cx = clamp(cx, 0, g.cols-1)
+	cy = clamp(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Neighbors appends to dst the indices of all points within radius of the
+// point with index i (excluding i itself) and returns the extended slice.
+// The radius must be at most the radius the index was built with.
+func (g *GridIndex) Neighbors(i int, radius float64, dst []int) []int {
+	p := g.points[i]
+	r2 := radius * radius
+	cx := clamp(int((p.X-g.bounds.MinX)/g.cellSize), 0, g.cols-1)
+	cy := clamp(int((p.Y-g.bounds.MinY)/g.cellSize), 0, g.rows-1)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+				continue
+			}
+			for _, j := range g.cells[y*g.cols+x] {
+				if int(j) == i {
+					continue
+				}
+				if p.Dist2(g.points[j]) <= r2 {
+					dst = append(dst, int(j))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// NeighborsOf appends indices of all points within radius of an arbitrary
+// query point q and returns the extended slice.
+func (g *GridIndex) NeighborsOf(q Point, radius float64, dst []int) []int {
+	r2 := radius * radius
+	cx := clamp(int((q.X-g.bounds.MinX)/g.cellSize), 0, g.cols-1)
+	cy := clamp(int((q.Y-g.bounds.MinY)/g.cellSize), 0, g.rows-1)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, y := cx+dx, cy+dy
+			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+				continue
+			}
+			for _, j := range g.cells[y*g.cols+x] {
+				if q.Dist2(g.points[j]) <= r2 {
+					dst = append(dst, int(j))
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+)
+
+func TestDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if d := a.Dist(b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d2 := a.Dist2(b); math.Abs(d2-25) > 1e-12 {
+		t.Fatalf("Dist2 = %v, want 25", d2)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by float64) bool {
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		return a.Dist(b) == b.Dist(a)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Square(400)
+	if r.Width() != 400 || r.Height() != 400 {
+		t.Fatalf("Square(400) dims %v x %v", r.Width(), r.Height())
+	}
+	if r.Area() != 160000 {
+		t.Fatalf("area %v", r.Area())
+	}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{400, 400}) || !r.Contains(Point{200, 100}) {
+		t.Fatal("Contains failed for interior/boundary points")
+	}
+	if r.Contains(Point{-1, 0}) || r.Contains(Point{0, 401}) {
+		t.Fatal("Contains accepted exterior point")
+	}
+	if c := r.Center(); c != (Point{200, 200}) {
+		t.Fatalf("Center %v", c)
+	}
+}
+
+// bruteNeighbors is the reference implementation the grid index must match.
+func bruteNeighbors(points []Point, i int, radius float64) []int {
+	var out []int
+	for j, q := range points {
+		if j != i && points[i].Dist(q) <= radius {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	r := rng.New(99)
+	bounds := Square(400)
+	const n = 500
+	points := make([]Point, n)
+	for i := range points {
+		points[i] = Point{r.Float64() * 400, r.Float64() * 400}
+	}
+	const radius = 50
+	g := NewGridIndex(bounds, points, radius)
+	for i := 0; i < n; i++ {
+		got := g.Neighbors(i, radius, nil)
+		want := bruteNeighbors(points, i, radius)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: got %d neighbors, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("node %d: neighbor mismatch %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestGridIndexSmallerRadiusQuery(t *testing.T) {
+	r := rng.New(7)
+	bounds := Square(100)
+	points := make([]Point, 200)
+	for i := range points {
+		points[i] = Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	g := NewGridIndex(bounds, points, 30)
+	for i := 0; i < len(points); i += 17 {
+		got := g.Neighbors(i, 12, nil)
+		want := bruteNeighbors(points, i, 12)
+		if len(got) != len(want) {
+			t.Fatalf("radius-12 query mismatch at %d: %d vs %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestGridIndexNeighborsOf(t *testing.T) {
+	points := []Point{{10, 10}, {20, 10}, {300, 300}}
+	g := NewGridIndex(Square(400), points, 50)
+	got := g.NeighborsOf(Point{12, 10}, 50, nil)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("NeighborsOf = %v, want [0 1]", got)
+	}
+}
+
+func TestGridIndexPointOnBoundary(t *testing.T) {
+	// Points exactly on the max boundary must be indexed, not lost.
+	points := []Point{{400, 400}, {399, 399}}
+	g := NewGridIndex(Square(400), points, 50)
+	got := g.Neighbors(0, 50, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("boundary point neighbors = %v", got)
+	}
+}
+
+func TestGridIndexEmptyAndSingleton(t *testing.T) {
+	g := NewGridIndex(Square(10), nil, 5)
+	if got := g.NeighborsOf(Point{1, 1}, 5, nil); len(got) != 0 {
+		t.Fatalf("empty index returned %v", got)
+	}
+	g = NewGridIndex(Square(10), []Point{{5, 5}}, 5)
+	if got := g.Neighbors(0, 5, nil); len(got) != 0 {
+		t.Fatalf("singleton index returned %v", got)
+	}
+}
+
+func TestNewGridIndexPanicsOnBadRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero radius")
+		}
+	}()
+	NewGridIndex(Square(10), nil, 0)
+}
+
+func BenchmarkGridNeighbors(b *testing.B) {
+	r := rng.New(1)
+	points := make([]Point, 600)
+	for i := range points {
+		points[i] = Point{r.Float64() * 400, r.Float64() * 400}
+	}
+	g := NewGridIndex(Square(400), points, 50)
+	buf := make([]int, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Neighbors(i%600, 50, buf[:0])
+	}
+}

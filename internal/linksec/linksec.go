@@ -1,0 +1,319 @@
+// Package linksec implements the link-level encryption iPDA's slicing phase
+// requires (Section III-C) and the key-management schemes it can be built
+// on.
+//
+// The paper deliberately leaves key management pluggable: "One of the
+// merits of iPDA scheme is that it can be built on top of any key
+// management scheme." We provide the two families the paper discusses:
+//
+//   - Pairwise keys: every pair of neighbors derives a unique key from a
+//     master secret. Only compromising an endpoint exposes a link.
+//   - Random key predistribution (Eschenauer–Gligor, ref. [13] of the
+//     paper): each node holds a random ring of key IDs from a global pool;
+//     neighbors communicate under a common ring key. A third node holding
+//     the same pool key can decrypt the link — the first privacy-violation
+//     path of Section IV-A.3.
+//
+// Payload encryption is an authenticated 8-byte stream cipher built from
+// SHA-256 as a PRF — small, stdlib-only, and honest about what it models:
+// confidentiality and integrity of a 64-bit additive share per frame.
+package linksec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// KeySize is the size of derived link keys in bytes.
+const KeySize = 16
+
+// Key is a symmetric link key.
+type Key [KeySize]byte
+
+// Scheme is a key-management scheme: it answers whether two nodes share a
+// key and what it is.
+type Scheme interface {
+	// SharedKey returns the key nodes a and b use on their link, or
+	// ok=false if the scheme gives them no common key (in which case the
+	// pair cannot exchange encrypted slices).
+	SharedKey(a, b topology.NodeID) (key Key, ok bool)
+}
+
+// prf derives 32 pseudo-random bytes from the labeled inputs.
+func prf(label string, parts ...uint64) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(label))
+	var buf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(buf[:], p)
+		h.Write(buf[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Pairwise is a pairwise master-secret scheme: every unordered node pair
+// derives a unique key. It is stateless and safe for concurrent use.
+type Pairwise struct {
+	master uint64
+}
+
+// NewPairwise creates a pairwise scheme from a master secret.
+func NewPairwise(master uint64) *Pairwise { return &Pairwise{master: master} }
+
+// SharedKey implements Scheme. Every pair shares a key.
+func (p *Pairwise) SharedKey(a, b topology.NodeID) (Key, bool) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	d := prf("pairwise", p.master, uint64(uint32(lo)), uint64(uint32(hi)))
+	var k Key
+	copy(k[:], d[:KeySize])
+	return k, true
+}
+
+// RandomPredist is the Eschenauer–Gligor random key predistribution
+// scheme: a pool of PoolSize keys, RingSize random distinct key IDs per
+// node. Two nodes use the smallest common key ID.
+type RandomPredist struct {
+	master   uint64
+	poolSize int
+	rings    [][]int32 // sorted ring of key IDs per node
+}
+
+// NewRandomPredist draws a key ring for each of n nodes. RingSize must not
+// exceed poolSize.
+func NewRandomPredist(n, poolSize, ringSize int, master uint64, r *rng.Stream) (*RandomPredist, error) {
+	if poolSize <= 0 || ringSize <= 0 || ringSize > poolSize {
+		return nil, fmt.Errorf("linksec: invalid pool/ring sizes %d/%d", poolSize, ringSize)
+	}
+	s := &RandomPredist{master: master, poolSize: poolSize, rings: make([][]int32, n)}
+	for i := range s.rings {
+		ids := r.Sample(poolSize, ringSize)
+		ring := make([]int32, len(ids))
+		for k, id := range ids {
+			ring[k] = int32(id)
+		}
+		sortInt32(ring)
+		s.rings[i] = ring
+	}
+	return s, nil
+}
+
+func sortInt32(xs []int32) {
+	// Insertion sort: rings are small (tens of entries).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// commonKeyID returns the smallest key ID in both sorted rings, or -1.
+func commonKeyID(a, b []int32) int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return a[i]
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return -1
+}
+
+// SharedKey implements Scheme: ok is false when the rings do not intersect.
+func (s *RandomPredist) SharedKey(a, b topology.NodeID) (Key, bool) {
+	id := commonKeyID(s.rings[a], s.rings[b])
+	if id < 0 {
+		return Key{}, false
+	}
+	return s.poolKey(id), true
+}
+
+func (s *RandomPredist) poolKey(id int32) Key {
+	d := prf("pool", s.master, uint64(uint32(id)))
+	var k Key
+	copy(k[:], d[:KeySize])
+	return k
+}
+
+// Holds reports whether node c's ring contains the key a and b use — i.e.
+// whether c can passively decrypt the a–b link, the first privacy
+// violation path of Section IV-A.3.
+func (s *RandomPredist) Holds(c, a, b topology.NodeID) bool {
+	id := commonKeyID(s.rings[a], s.rings[b])
+	if id < 0 {
+		return false
+	}
+	ring := s.rings[c]
+	for _, x := range ring {
+		if x == id {
+			return true
+		}
+		if x > id {
+			return false
+		}
+	}
+	return false
+}
+
+// ConnectProbability returns the analytic probability that two nodes share
+// at least one key: 1 - C(P-m, m)/C(P, m), computed in log space.
+func ConnectProbability(poolSize, ringSize int) float64 {
+	if ringSize*2 > poolSize {
+		return 1
+	}
+	// C(P-m,m)/C(P,m) = prod_{i=0}^{m-1} (P-m-i)/(P-i)
+	p := 1.0
+	for i := 0; i < ringSize; i++ {
+		p *= float64(poolSize-ringSize-i) / float64(poolSize-i)
+	}
+	return 1 - p
+}
+
+// ThirdPartyDecryptProbability returns the analytic probability that a
+// random third node holds one specific pool key: m/P. This is the per-link
+// eavesdrop probability p_x induced by random key predistribution.
+func ThirdPartyDecryptProbability(poolSize, ringSize int) float64 {
+	return float64(ringSize) / float64(poolSize)
+}
+
+// QComposite is the q-composite variant of random key predistribution
+// (Chan, Perrig, Song — the hardening of ref. [14] of the paper): two
+// nodes derive a link key only when their rings share at least q pool
+// keys, and the link key is a hash over ALL shared keys. An eavesdropper
+// must hold every shared key to decrypt the link, which sharply reduces
+// the per-link exposure p_x at a modest connectivity cost.
+type QComposite struct {
+	inner *RandomPredist
+	q     int
+}
+
+// NewQComposite wraps a random-predistribution ring assignment with the
+// q-composite rule. q must be at least 1.
+func NewQComposite(n, poolSize, ringSize, q int, master uint64, r *rng.Stream) (*QComposite, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("linksec: q must be >= 1, got %d", q)
+	}
+	inner, err := NewRandomPredist(n, poolSize, ringSize, master, r)
+	if err != nil {
+		return nil, err
+	}
+	return &QComposite{inner: inner, q: q}, nil
+}
+
+// sharedIDs returns all pool-key IDs common to both sorted rings.
+func sharedIDs(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// SharedKey implements Scheme: ok is false when fewer than q pool keys are
+// shared; otherwise the link key hashes every shared key together.
+func (s *QComposite) SharedKey(a, b topology.NodeID) (Key, bool) {
+	ids := sharedIDs(s.inner.rings[a], s.inner.rings[b])
+	if len(ids) < s.q {
+		return Key{}, false
+	}
+	h := sha256.New()
+	h.Write([]byte("qcomposite"))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], s.inner.master)
+	h.Write(buf[:])
+	for _, id := range ids {
+		k := s.inner.poolKey(id)
+		h.Write(k[:])
+	}
+	var k Key
+	copy(k[:], h.Sum(nil)[:KeySize])
+	return k, true
+}
+
+// Holds reports whether node c's ring contains EVERY pool key the a–b
+// link key is built from — the q-composite passive-decryption condition.
+func (s *QComposite) Holds(c, a, b topology.NodeID) bool {
+	ids := sharedIDs(s.inner.rings[a], s.inner.rings[b])
+	if len(ids) < s.q {
+		return false
+	}
+	ring := s.inner.rings[c]
+	for _, id := range ids {
+		found := false
+		for _, x := range ring {
+			if x == id {
+				found = true
+				break
+			}
+			if x > id {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Sealed is an encrypted, authenticated 8-byte payload.
+type Sealed struct {
+	Cipher [8]byte
+	Nonce  uint32
+	Tag    uint32
+}
+
+// ErrAuth is returned when a sealed payload fails authentication.
+var ErrAuth = errors.New("linksec: authentication failed")
+
+// Seal encrypts an int64 additive share under key with the given nonce.
+// Nonces must be unique per key; the protocol uses (round, sender, index).
+func Seal(key Key, nonce uint32, value int64) Sealed {
+	ks := prf("stream", binary.BigEndian.Uint64(key[:8]), binary.BigEndian.Uint64(key[8:]), uint64(nonce))
+	var out Sealed
+	out.Nonce = nonce
+	binary.BigEndian.PutUint64(out.Cipher[:], uint64(value)^binary.BigEndian.Uint64(ks[:8]))
+	out.Tag = tag(key, nonce, out.Cipher)
+	return out
+}
+
+// Open decrypts and authenticates a sealed payload.
+func Open(key Key, s Sealed) (int64, error) {
+	if tag(key, s.Nonce, s.Cipher) != s.Tag {
+		return 0, ErrAuth
+	}
+	ks := prf("stream", binary.BigEndian.Uint64(key[:8]), binary.BigEndian.Uint64(key[8:]), uint64(s.Nonce))
+	return int64(binary.BigEndian.Uint64(s.Cipher[:]) ^ binary.BigEndian.Uint64(ks[:8])), nil
+}
+
+func tag(key Key, nonce uint32, cipher [8]byte) uint32 {
+	d := prf("tag",
+		binary.BigEndian.Uint64(key[:8]),
+		binary.BigEndian.Uint64(key[8:]),
+		uint64(nonce),
+		binary.BigEndian.Uint64(cipher[:]))
+	return binary.BigEndian.Uint32(d[:4])
+}

@@ -1,0 +1,265 @@
+// Package mac implements the medium-access layer of our ns-2 substitute: a
+// nonpersistent CSMA scheme with binary exponential backoff, plus
+// 802.11-style stop-and-wait ARQ for unicast frames.
+//
+// Broadcast frames (the HELLO floods) are fire-and-forget, exactly as in
+// 802.11. Unicast frames (slices, partial aggregates) are acknowledged:
+// the receiver returns an ACK one SIFS after a successful decode, and the
+// sender retransmits on ACK timeout up to RetryLimit times before dropping
+// the frame. Retransmissions are deduplicated at the receiver by MAC
+// sequence number. Carrier sensing prevents most collisions; hidden
+// terminals and ACK losses produce the residual loss the paper's Section
+// IV-B attributes to "collision in wireless channels".
+package mac
+
+import (
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Handler receives frames the MAC delivers upward (ACKs and duplicate
+// retransmissions are filtered out).
+type Handler func(self topology.NodeID, p *packet.Packet)
+
+// Config are the CSMA/ARQ parameters. The defaults fit the paper's 1 Mbps
+// channel with frames of a few tens of bytes.
+type Config struct {
+	SlotTime    eventsim.Time // backoff quantum, seconds
+	MinWindow   int           // initial contention window, slots
+	MaxWindow   int           // contention window cap, slots
+	MaxAttempts int           // busy senses per transmission before giving up
+	RetryLimit  int           // unicast retransmissions before dropping
+	SIFS        eventsim.Time // short interframe space before an ACK
+}
+
+// DefaultConfig returns parameters tuned to the paper's radio: 100 µs
+// slots, windows 8..256, 16 sense attempts, 7 retransmissions.
+func DefaultConfig() Config {
+	return Config{
+		SlotTime:    100e-6,
+		MinWindow:   8,
+		MaxWindow:   256,
+		MaxAttempts: 16,
+		RetryLimit:  7,
+		SIFS:        10e-6,
+	}
+}
+
+// Stats are cumulative MAC counters.
+type Stats struct {
+	Enqueued   uint64
+	Sent       uint64 // data transmissions put on the air (incl. retransmissions)
+	Dropped    uint64 // frames abandoned after MaxAttempts or RetryLimit
+	Deferred   uint64 // busy senses that led to backoff
+	Retries    uint64 // unicast retransmissions
+	AcksSent   uint64
+	Duplicates uint64 // retransmissions suppressed at receivers
+}
+
+type frameState struct {
+	pkt     *packet.Packet
+	retries int
+}
+
+type pairKey struct {
+	src, dst topology.NodeID
+}
+
+// MAC schedules transmissions for every node of one network. It is driven
+// by the owning simulation and is not safe for concurrent use.
+type MAC struct {
+	sim      *eventsim.Sim
+	medium   *radio.Medium
+	cfg      Config
+	rand     *rng.Stream
+	handlers []Handler
+	queues   [][]*frameState
+	busy     []bool
+	seq      []uint16
+	// awaiting[i] is the seq the pending unicast of node i waits an ACK
+	// for; acked[i] flips when it arrives.
+	awaiting []uint16
+	waiting  []bool
+	acked    []bool
+	lastSeq  map[pairKey]uint16
+	stats    Stats
+}
+
+// New creates a MAC over medium for a network of n nodes and installs
+// itself as the medium receiver for every node. Protocol layers must
+// register their upcalls with SetHandler, not with the medium directly.
+func New(sim *eventsim.Sim, medium *radio.Medium, n int, cfg Config, rand *rng.Stream) *MAC {
+	if cfg.SlotTime <= 0 || cfg.MinWindow <= 0 || cfg.MaxWindow < cfg.MinWindow ||
+		cfg.MaxAttempts <= 0 || cfg.RetryLimit < 0 || cfg.SIFS <= 0 {
+		panic("mac: invalid config")
+	}
+	m := &MAC{
+		sim:      sim,
+		medium:   medium,
+		cfg:      cfg,
+		rand:     rand,
+		handlers: make([]Handler, n),
+		queues:   make([][]*frameState, n),
+		busy:     make([]bool, n),
+		seq:      make([]uint16, n),
+		awaiting: make([]uint16, n),
+		waiting:  make([]bool, n),
+		acked:    make([]bool, n),
+		lastSeq:  make(map[pairKey]uint16),
+	}
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		medium.SetReceiver(id, func(self topology.NodeID, frame []byte) {
+			m.onReceive(self, frame)
+		})
+	}
+	return m
+}
+
+// SetHandler installs the upward delivery callback for a node.
+func (m *MAC) SetHandler(id topology.NodeID, h Handler) { m.handlers[id] = h }
+
+// Stats returns cumulative counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// QueueLen returns the number of frames queued at node id (including any
+// frame currently in service).
+func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.queues[id]) }
+
+// Send enqueues a frame for transmission from src; pkt.Dst selects unicast
+// (reliable, ARQ) or packet.Broadcast (fire-and-forget). The MAC owns the
+// packet from here on and assigns its Seq.
+func (m *MAC) Send(src topology.NodeID, pkt *packet.Packet) {
+	m.stats.Enqueued++
+	m.seq[src]++
+	pkt.Seq = m.seq[src]
+	m.queues[src] = append(m.queues[src], &frameState{pkt: pkt})
+	if !m.busy[src] {
+		m.busy[src] = true
+		m.scheduleAttempt(src, 0)
+	}
+}
+
+// scheduleAttempt arms the next carrier-sense attempt for src's queue head
+// after an attempt-dependent random backoff.
+func (m *MAC) scheduleAttempt(src topology.NodeID, attempt int) {
+	window := m.cfg.MinWindow << uint(attempt)
+	if window > m.cfg.MaxWindow || window <= 0 {
+		window = m.cfg.MaxWindow
+	}
+	delay := eventsim.Time(m.rand.Intn(window)+1) * m.cfg.SlotTime
+	m.sim.After(delay, func() { m.attempt(src, attempt) })
+}
+
+func (m *MAC) attempt(src topology.NodeID, attempt int) {
+	q := m.queues[src]
+	if len(q) == 0 {
+		m.busy[src] = false
+		return
+	}
+	if m.medium.Busy(src) {
+		m.stats.Deferred++
+		if attempt+1 >= m.cfg.MaxAttempts {
+			m.stats.Dropped++
+			m.dequeue(src)
+			return
+		}
+		m.scheduleAttempt(src, attempt+1)
+		return
+	}
+	f := q[0]
+	frame := f.pkt.Marshal()
+	size := f.pkt.Size()
+	m.medium.Transmit(src, f.pkt.Dst, frame, size)
+	m.stats.Sent++
+	air := m.medium.Duration(size)
+	if f.pkt.Dst == packet.Broadcast {
+		m.sim.After(air, func() { m.dequeue(src) })
+		return
+	}
+	// Reliable unicast: wait data airtime + SIFS + ACK airtime + guard.
+	m.waiting[src] = true
+	m.awaiting[src] = f.pkt.Seq
+	m.acked[src] = false
+	ackAir := m.medium.Duration((&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size())
+	timeout := air + m.cfg.SIFS + ackAir + 4*m.cfg.SlotTime
+	m.sim.After(timeout, func() { m.checkAck(src, f) })
+}
+
+func (m *MAC) checkAck(src topology.NodeID, f *frameState) {
+	m.waiting[src] = false
+	if m.acked[src] {
+		m.dequeue(src)
+		return
+	}
+	f.retries++
+	if f.retries > m.cfg.RetryLimit {
+		m.stats.Dropped++
+		m.dequeue(src)
+		return
+	}
+	m.stats.Retries++
+	backoff := f.retries
+	if backoff > 5 {
+		backoff = 5
+	}
+	m.scheduleAttempt(src, backoff)
+}
+
+func (m *MAC) dequeue(src topology.NodeID) {
+	q := m.queues[src]
+	if len(q) > 0 {
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		m.queues[src] = q[:len(q)-1]
+	}
+	if len(m.queues[src]) > 0 {
+		m.scheduleAttempt(src, 0)
+	} else {
+		m.busy[src] = false
+	}
+}
+
+// onReceive handles every frame decoded at a node: ACK matching, ACK
+// generation, duplicate suppression, and upward delivery.
+func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
+	p, err := packet.Unmarshal(frame)
+	if err != nil {
+		return
+	}
+	if p.Kind == packet.KindAck {
+		if m.waiting[self] && p.Seq == m.awaiting[self] {
+			m.acked[self] = true
+		}
+		return
+	}
+	if p.Dst != packet.Broadcast {
+		// Acknowledge one SIFS later if the radio is free; a suppressed
+		// ACK just means the sender retransmits.
+		ack := &packet.Packet{Header: packet.Header{
+			Kind: packet.KindAck,
+			Src:  int32(self),
+			Dst:  p.Src,
+			Seq:  p.Seq,
+		}}
+		m.sim.After(m.cfg.SIFS, func() {
+			if m.medium.Busy(self) {
+				return
+			}
+			m.medium.Transmit(self, ack.Dst, ack.Marshal(), ack.Size())
+			m.stats.AcksSent++
+		})
+		key := pairKey{topology.NodeID(p.Src), self}
+		if last, seen := m.lastSeq[key]; seen && last == p.Seq {
+			m.stats.Duplicates++
+			return
+		}
+		m.lastSeq[key] = p.Seq
+	}
+	if h := m.handlers[self]; h != nil {
+		h(self, p)
+	}
+}

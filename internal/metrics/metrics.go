@@ -1,0 +1,77 @@
+// Package metrics computes the evaluation metrics of Section IV-B from
+// protocol state: tree coverage (Figure 8a), participation (Figure 8b),
+// aggregation accuracy (Figure 8c), and per-node traffic summaries
+// (Figure 7).
+package metrics
+
+import (
+	"math"
+
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+// CoverageFraction returns the fraction of sensor nodes (excluding the
+// base station) reached by both aggregation trees — Figure 8(a).
+func CoverageFraction(trees *tree.Result, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	covered := 0
+	for i := 1; i < n; i++ {
+		if trees.CoveredBoth(topology.NodeID(i)) {
+			covered++
+		}
+	}
+	return float64(covered) / float64(n-1)
+}
+
+// ParticipationFraction returns the fraction of sensor nodes with enough
+// aggregator neighbors to send l slices per tree — Figure 8(b).
+func ParticipationFraction(trees *tree.Result, l, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	can := 0
+	for i := 1; i < n; i++ {
+		if trees.CanSlice(topology.NodeID(i), l) {
+			can++
+		}
+	}
+	return float64(can) / float64(n-1)
+}
+
+// Accuracy returns the paper's accuracy metric: the ratio of the collected
+// aggregate to the true aggregate over all sensors. 1.0 is lossless; the
+// metric exceeds 1 only through noise and is clamped at 0 from below.
+func Accuracy(collected, truth float64) float64 {
+	if truth == 0 {
+		if collected == 0 {
+			return 1
+		}
+		return 0
+	}
+	acc := collected / truth
+	if math.IsNaN(acc) || acc < 0 {
+		return 0
+	}
+	return acc
+}
+
+// TrueSum sums readings over all sensor nodes (index 0, the base station,
+// excluded) — the denominator of the accuracy metric.
+func TrueSum(readings []int64) int64 {
+	var s int64
+	for i := 1; i < len(readings); i++ {
+		s += readings[i]
+	}
+	return s
+}
+
+// BytesPerNode normalizes a traffic total over the deployment size.
+func BytesPerNode(totalBytes uint64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(totalBytes) / float64(n)
+}

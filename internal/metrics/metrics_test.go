@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+func TestAccuracy(t *testing.T) {
+	cases := []struct {
+		collected, truth, want float64
+	}{
+		{100, 100, 1},
+		{90, 100, 0.9},
+		{0, 100, 0},
+		{0, 0, 1},
+		{5, 0, 0},
+		{-3, 100, 0},
+	}
+	for _, c := range cases {
+		if got := Accuracy(c.collected, c.truth); got != c.want {
+			t.Errorf("Accuracy(%v, %v) = %v, want %v", c.collected, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestTrueSumSkipsBaseStation(t *testing.T) {
+	if got := TrueSum([]int64{999, 1, 2, 3}); got != 6 {
+		t.Fatalf("TrueSum = %d", got)
+	}
+	if got := TrueSum(nil); got != 0 {
+		t.Fatalf("TrueSum(nil) = %d", got)
+	}
+}
+
+func TestBytesPerNode(t *testing.T) {
+	if got := BytesPerNode(1000, 4); got != 250 {
+		t.Fatalf("BytesPerNode = %v", got)
+	}
+	if got := BytesPerNode(1000, 0); got != 0 {
+		t.Fatalf("BytesPerNode n=0 = %v", got)
+	}
+}
+
+func TestCoverageAndParticipationOnRealTrees(t *testing.T) {
+	net, err := topology.Random(topology.PaperConfig(500), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := core.New(net, core.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := CoverageFraction(in.Trees, net.N())
+	part := ParticipationFraction(in.Trees, 2, net.N())
+	if cov < 0.9 || cov > 1 {
+		t.Fatalf("coverage %v at N=500", cov)
+	}
+	if part > cov {
+		t.Fatalf("participation %v exceeds coverage %v", part, cov)
+	}
+	if part < 0.7 {
+		t.Fatalf("participation %v too low at N=500", part)
+	}
+	// Participation must match the engine's own participant list.
+	want := float64(len(in.Participants())) / float64(net.N()-1)
+	if part != want {
+		t.Fatalf("ParticipationFraction %v != engine %v", part, want)
+	}
+	// Degenerate sizes.
+	if CoverageFraction(in.Trees, 1) != 1 || ParticipationFraction(in.Trees, 2, 1) != 1 {
+		t.Fatal("degenerate n not handled")
+	}
+}

@@ -1,0 +1,387 @@
+package mtree
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// deploy builds an m-tree instance on a dense deployment (m > 2 needs
+// density, as the paper warns).
+func deploy(t *testing.T, nodes, m int, seed uint64) *Instance {
+	t.Helper()
+	net, err := topology.Random(topology.PaperConfig(nodes), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(m)
+	if m > cfg.K {
+		cfg.K = m
+	}
+	in, err := New(net, cfg, seed+77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestTwoTreesMatchCoreBehaviour(t *testing.T) {
+	in := deploy(t, 400, 2, 1)
+	v, err := in.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("clean m=2 round rejected: %+v", v)
+	}
+	participants := int64(len(in.Participants()))
+	if v.Value < participants*9/10 || v.Value > participants {
+		t.Fatalf("count %d vs %d participants", v.Value, participants)
+	}
+}
+
+func TestThreeTreesCleanRound(t *testing.T) {
+	in := deploy(t, 600, 3, 2)
+	v, err := in.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("clean m=3 round rejected: totals %v", v.Totals)
+	}
+	if len(v.Outliers) != 0 {
+		t.Fatalf("clean round flagged outliers %v (totals %v)", v.Outliers, v.Totals)
+	}
+}
+
+func TestTreesAreDisjoint(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		in := deploy(t, 600, m, uint64(m)*13)
+		// checkDisjoint ran inside New; re-verify the role structure: a
+		// node appears on at most one tree by construction of TreeOf.
+		counts := make([]int, m)
+		for i := 1; i < in.Net.N(); i++ {
+			if tr := in.TreeOf[i]; tr != NoTree {
+				counts[tr]++
+			}
+		}
+		for tr, c := range counts {
+			if c == 0 {
+				t.Fatalf("m=%d: tree %d empty", m, tr)
+			}
+		}
+	}
+}
+
+func TestCoverageDropsWithMoreTrees(t *testing.T) {
+	// The paper's density warning: at fixed density, covering all m trees
+	// gets harder as m grows.
+	cov := func(m int) float64 { return deploy(t, 400, m, 99).CoverageFraction() }
+	c2, c4 := cov(2), cov(4)
+	if c4 > c2 {
+		t.Fatalf("coverage m=4 (%v) above m=2 (%v)", c4, c2)
+	}
+	if c2 < 0.85 {
+		t.Fatalf("m=2 coverage %v too low at N=400", c2)
+	}
+}
+
+func TestSinglePolluterOutvoted(t *testing.T) {
+	in := deploy(t, 600, 3, 4)
+	// Make one aggregator of tree 0 malicious.
+	var attacker topology.NodeID = topology.None
+	for i := 1; i < in.Net.N(); i++ {
+		if in.TreeOf[i] == 0 {
+			attacker = topology.NodeID(i)
+			break
+		}
+	}
+	if attacker == topology.None {
+		t.Skip("no aggregator on tree 0")
+	}
+	in.Pollute(attacker, 900)
+	v, err := in.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority (trees 1 and 2) still agrees: the round is ACCEPTED with
+	// the honest value, and tree 0 is identified as the outlier.
+	if !v.Accepted {
+		t.Fatalf("majority did not carry: totals %v", v.Totals)
+	}
+	if len(v.Outliers) != 1 || v.Outliers[0] != 0 {
+		t.Fatalf("outliers %v, want [0] (totals %v)", v.Outliers, v.Totals)
+	}
+	honest := int64(len(in.Participants()))
+	if v.Value < honest*9/10 || v.Value > honest {
+		t.Fatalf("majority value %d vs %d participants", v.Value, honest)
+	}
+}
+
+func TestCollusionDefeatsTwoTreesButNotThree(t *testing.T) {
+	// Two colluders applying the same delta on the two trees of an m=2
+	// deployment go undetected (the paper's conceded limitation)...
+	in2 := deploy(t, 600, 2, 5)
+	var a0, a1 topology.NodeID = topology.None, topology.None
+	for i := 1; i < in2.Net.N(); i++ {
+		switch in2.TreeOf[i] {
+		case 0:
+			if a0 == topology.None {
+				a0 = topology.NodeID(i)
+			}
+		case 1:
+			if a1 == topology.None {
+				a1 = topology.NodeID(i)
+			}
+		}
+	}
+	if a0 == topology.None || a1 == topology.None {
+		t.Skip("missing aggregators")
+	}
+	in2.Pollute(a0, 700)
+	in2.Pollute(a1, 700)
+	v2, err := in2.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest2 := int64(len(in2.Participants()))
+	if !v2.Accepted {
+		t.Logf("m=2 colluders detected by luck (totals %v)", v2.Totals)
+	} else if v2.Value < honest2+600 {
+		t.Fatalf("m=2 collusion accepted but value %d not shifted (participants %d)", v2.Value, honest2)
+	}
+
+	// ...but with m=3 the honest third tree outvotes the same collusion.
+	in3 := deploy(t, 600, 3, 6)
+	var b0, b1 topology.NodeID = topology.None, topology.None
+	for i := 1; i < in3.Net.N(); i++ {
+		switch in3.TreeOf[i] {
+		case 0:
+			if b0 == topology.None {
+				b0 = topology.NodeID(i)
+			}
+		case 1:
+			if b1 == topology.None {
+				b1 = topology.NodeID(i)
+			}
+		}
+	}
+	if b0 == topology.None || b1 == topology.None {
+		t.Skip("missing aggregators")
+	}
+	in3.Pollute(b0, 700)
+	in3.Pollute(b1, 700)
+	v3, err := in3.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest3 := int64(len(in3.Participants()))
+	// With only 1 honest tree out of 3 no strict majority should form
+	// around the polluted value... the two polluted trees DO agree with
+	// each other (same delta), forming a 2-of-3 majority around the WRONG
+	// value. Majority voting with m=3 tolerates f colluders only when
+	// m >= 2f+1 — here f=2 needs m=5. What m=3 does guarantee is that
+	// the verdict flags a dissenting tree, alerting the base station.
+	if v3.Accepted && len(v3.Outliers) == 0 {
+		t.Fatalf("m=3 collusion produced a unanimous verdict: totals %v", v3.Totals)
+	}
+	if v3.Accepted && v3.Value >= honest3+600 {
+		// The colluding majority won the vote, but the honest tree is
+		// flagged as "outlier" — the alert a cautious base station acts
+		// on. Verify the honest total is recoverable from the outlier.
+		found := false
+		for _, o := range v3.Outliers {
+			if v3.Totals[o] <= honest3 && v3.Totals[o] >= honest3*9/10 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("honest total lost: totals %v outliers %v participants %d", v3.Totals, v3.Outliers, honest3)
+		}
+	}
+}
+
+func TestFivePoint_TwoColludersOutvotedByThreeHonestTrees(t *testing.T) {
+	// m = 5 tolerates f = 2 same-delta colluders: the three honest trees
+	// form the majority. Needs a very dense network, per the paper.
+	net, err := topology.Random(topology.Config{Nodes: 800, FieldSide: 350, Range: 50}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.K = 8
+	in, err := New(net, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c0, c1 topology.NodeID = topology.None, topology.None
+	for i := 1; i < in.Net.N(); i++ {
+		switch in.TreeOf[i] {
+		case 0:
+			if c0 == topology.None {
+				c0 = topology.NodeID(i)
+			}
+		case 1:
+			if c1 == topology.None {
+				c1 = topology.NodeID(i)
+			}
+		}
+	}
+	if c0 == topology.None || c1 == topology.None {
+		t.Skip("missing aggregators")
+	}
+	in.Pollute(c0, 700)
+	in.Pollute(c1, 700)
+	v, err := in.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Accepted {
+		t.Fatalf("honest 3-of-5 majority did not carry: totals %v", v.Totals)
+	}
+	honest := int64(len(in.Participants()))
+	if v.Value > honest || v.Value < honest*85/100 {
+		t.Fatalf("majority value %d vs participants %d (totals %v)", v.Value, honest, v.Totals)
+	}
+	if len(v.Outliers) != 2 {
+		t.Fatalf("outliers %v, want the two polluted trees (totals %v)", v.Outliers, v.Totals)
+	}
+}
+
+func TestMajorityVerdictUnit(t *testing.T) {
+	cases := []struct {
+		totals   []int64
+		th       int64
+		accepted bool
+		value    int64
+		outliers []int
+	}{
+		{[]int64{100, 100, 100}, 5, true, 100, nil},
+		{[]int64{100, 103, 600}, 5, true, 101, []int{2}},
+		{[]int64{100, 600, 600}, 5, true, 600, []int{0}}, // colluding majority
+		{[]int64{100, 300, 600}, 5, false, 0, nil},       // no majority
+		{[]int64{100, 104}, 5, true, 102, nil},
+		{[]int64{100, 110}, 5, false, 0, nil},
+	}
+	for i, c := range cases {
+		v := majorityVerdict(c.totals, c.th)
+		if v.Accepted != c.accepted {
+			t.Errorf("case %d: accepted %v, want %v", i, v.Accepted, c.accepted)
+			continue
+		}
+		if v.Accepted && v.Value != c.value {
+			t.Errorf("case %d: value %d, want %d", i, v.Value, c.value)
+		}
+		if len(c.outliers) != len(v.Outliers) && !(c.outliers == nil && len(v.Outliers) <= len(c.totals)-1 && !c.accepted) {
+			if c.accepted {
+				t.Errorf("case %d: outliers %v, want %v", i, v.Outliers, c.outliers)
+			}
+		}
+		if c.accepted && len(c.outliers) > 0 {
+			if len(v.Outliers) != len(c.outliers) || v.Outliers[0] != c.outliers[0] {
+				t.Errorf("case %d: outliers %v, want %v", i, v.Outliers, c.outliers)
+			}
+		}
+	}
+}
+
+func TestMajorityVerdictProperties(t *testing.T) {
+	r := rng.New(71)
+	if err := quickCheck(2000, func() bool {
+		m := r.Intn(7) + 2
+		th := int64(r.Intn(10))
+		totals := make([]int64, m)
+		for i := range totals {
+			totals[i] = int64(r.Intn(2000)) - 1000
+		}
+		v := majorityVerdict(totals, th)
+		// Outliers and cluster partition the trees.
+		inCluster := m - len(v.Outliers)
+		if inCluster < 1 {
+			return false
+		}
+		// Accepted iff the cluster is a strict majority.
+		if v.Accepted != (2*inCluster > m) {
+			return false
+		}
+		// Every outlier index is valid and unique.
+		seen := map[int]bool{}
+		for _, o := range v.Outliers {
+			if o < 0 || o >= m || seen[o] {
+				return false
+			}
+			seen[o] = true
+		}
+		// Cluster members pairwise agree within th: verify by checking
+		// max-min over non-outliers.
+		var lo, hi int64
+		first := true
+		for t := 0; t < m; t++ {
+			if seen[t] {
+				continue
+			}
+			if first {
+				lo, hi = totals[t], totals[t]
+				first = false
+				continue
+			}
+			if totals[t] < lo {
+				lo = totals[t]
+			}
+			if totals[t] > hi {
+				hi = totals[t]
+			}
+		}
+		return hi-lo <= th
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCheck runs prop n times and reports the first failure.
+func quickCheck(n int, prop func() bool) error {
+	for i := 0; i < n; i++ {
+		if !prop() {
+			return fmt.Errorf("property failed at trial %d", i)
+		}
+	}
+	return nil
+}
+
+func TestConfigValidation(t *testing.T) {
+	net, _ := topology.Grid(3, 20, 50)
+	bad := []Config{
+		DefaultConfig(1),
+		DefaultConfig(9),
+		{Trees: 2, Slices: 0, Threshold: 5, K: 4, DecisionDelay: 1, Deadline: 1, SliceWindow: 1, AggSlot: 1},
+		{Trees: 4, Slices: 2, Threshold: 5, K: 3, DecisionDelay: 1, Deadline: 1, SliceWindow: 1, AggSlot: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(net, cfg, 1); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []int64 {
+		net, _ := topology.Random(topology.PaperConfig(300), rng.New(42))
+		in, err := New(net, DefaultConfig(3), 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := in.RunCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Totals
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}

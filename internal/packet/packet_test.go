@@ -1,0 +1,187 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindHello:     "HELLO",
+		KindQuery:     "QUERY",
+		KindSlice:     "SLICE",
+		KindAggregate: "AGGREGATE",
+		KindAck:       "ACK",
+		Kind(99):      "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestColorOther(t *testing.T) {
+	if Red.Other() != Blue || Blue.Other() != Red || NoColor.Other() != NoColor {
+		t.Fatal("Color.Other wrong")
+	}
+	if Red.String() != "red" || Blue.String() != "blue" || NoColor.String() != "none" {
+		t.Fatal("Color.String wrong")
+	}
+}
+
+func roundTrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	data := p.Marshal()
+	if len(data) != p.Size()-PhysOverhead {
+		t.Fatalf("%v: marshal length %d, Size-PhysOverhead %d", p.Kind, len(data), p.Size()-PhysOverhead)
+	}
+	q, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("%v: unmarshal: %v", p.Kind, err)
+	}
+	return q
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{Kind: KindHello, Src: 7, Dst: Broadcast, Round: 3},
+		Color:  Red,
+		Hop:    12,
+	}
+	q := roundTrip(t, p)
+	if q.Kind != KindHello || q.Src != 7 || q.Dst != Broadcast || q.Round != 3 || q.Color != Red || q.Hop != 12 {
+		t.Fatalf("round trip mismatch: %+v", q)
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{Kind: KindSlice, Src: 100, Dst: 200, Round: 9},
+		Cipher: [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Nonce:  0xdeadbeef,
+		Tag:    0xcafe1234,
+		Color:  Blue,
+	}
+	q := roundTrip(t, p)
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("slice round trip: got %+v, want %+v", q, p)
+	}
+}
+
+func TestAggregateRoundTrip(t *testing.T) {
+	p := &Packet{
+		Header: Header{Kind: KindAggregate, Src: 5, Dst: 6, Round: 1},
+		Value:  -123456789012345,
+		Count:  4242,
+		Color:  Red,
+	}
+	q := roundTrip(t, p)
+	if q.Value != p.Value || q.Count != p.Count || q.Color != p.Color {
+		t.Fatalf("aggregate round trip: %+v", q)
+	}
+}
+
+func TestQueryAndAckRoundTrip(t *testing.T) {
+	p := &Packet{Header: Header{Kind: KindQuery, Src: 0, Dst: Broadcast, Round: 2}, Func: 3}
+	if q := roundTrip(t, p); q.Func != 3 {
+		t.Fatalf("query Func = %d", q.Func)
+	}
+	a := &Packet{Header: Header{Kind: KindAck, Src: 1, Dst: 2, Round: 2}}
+	if q := roundTrip(t, a); q.Kind != KindAck {
+		t.Fatalf("ack kind = %v", q.Kind)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	// Relative sizes matter for overhead measurements: every frame pays
+	// the same fixed cost, bodies differ per kind.
+	hello := (&Packet{Header: Header{Kind: KindHello}}).Size()
+	slice := (&Packet{Header: Header{Kind: KindSlice}}).Size()
+	agg := (&Packet{Header: Header{Kind: KindAggregate}}).Size()
+	ack := (&Packet{Header: Header{Kind: KindAck}}).Size()
+	if !(ack < hello && hello < agg && agg < slice) {
+		t.Fatalf("size ordering wrong: ack=%d hello=%d agg=%d slice=%d", ack, hello, agg, slice)
+	}
+	if ack != PhysOverhead+13 {
+		t.Fatalf("ack size = %d", ack)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil frame accepted")
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Valid header, truncated body.
+	p := &Packet{Header: Header{Kind: KindSlice, Src: 1, Dst: 2}}
+	data := p.Marshal()
+	if _, err := Unmarshal(data[:len(data)-4]); err == nil {
+		t.Fatal("truncated slice body accepted")
+	}
+	// Unknown kind.
+	bad := append([]byte{}, data...)
+	bad[0] = 200
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMarshalUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Packet{Header: Header{Kind: Kind(77)}}).Marshal()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(src, dst int32, round uint16, cipher [8]byte, nonce, tag uint32, value int64, count uint32, colorRaw uint8) bool {
+		color := Color(colorRaw % 3) // NoColor, Red, Blue
+		for _, kind := range []Kind{KindHello, KindQuery, KindSlice, KindAggregate, KindAck} {
+			p := &Packet{
+				Header: Header{Kind: kind, Src: src, Dst: dst, Round: round},
+				Color:  color,
+				Hop:    uint16(nonce),
+				Func:   uint8(tag),
+				Cipher: cipher,
+				Nonce:  nonce,
+				Tag:    tag,
+				Value:  value,
+				Count:  count,
+			}
+			q, err := Unmarshal(p.Marshal())
+			if err != nil {
+				return false
+			}
+			if q.Header != p.Header {
+				return false
+			}
+			switch kind {
+			case KindHello:
+				if q.Color != p.Color || q.Hop != p.Hop {
+					return false
+				}
+			case KindQuery:
+				if q.Func != p.Func {
+					return false
+				}
+			case KindSlice:
+				if q.Cipher != p.Cipher || q.Nonce != p.Nonce || q.Tag != p.Tag || q.Color != p.Color {
+					return false
+				}
+			case KindAggregate:
+				if q.Value != p.Value || q.Count != p.Count || q.Color != p.Color {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

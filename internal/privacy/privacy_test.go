@@ -1,0 +1,136 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+)
+
+func game(t *testing.T, cfg Config, seed uint64) Result {
+	t.Helper()
+	if cfg.Trials == 0 {
+		cfg.Trials = 20000
+	}
+	res, err := RunGame(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFullRingZeroPxNoAdvantage(t *testing.T) {
+	res := game(t, Config{L: 2, Spread: 0, Px: 0, V0: 10, V1: 5000}, 1)
+	if math.Abs(res.Advantage) > 0.02 {
+		t.Fatalf("advantage %v with nothing observed", res.Advantage)
+	}
+	if res.FullReconstructions != 0 {
+		t.Fatal("reconstruction without observations")
+	}
+}
+
+func TestFullRingAdvantageMatchesTheory(t *testing.T) {
+	for _, px := range []float64{0.2, 0.4} {
+		cfg := Config{L: 2, Spread: 0, Px: px, V0: 10, V1: 5000, Trials: 40000}
+		res := game(t, cfg, 2)
+		want := TheoreticalLeafAdvantage(px, 2)
+		if math.Abs(res.Advantage-want) > 0.02 {
+			t.Fatalf("px=%v: advantage %v, theory %v", px, res.Advantage, want)
+		}
+	}
+}
+
+func TestFullRingFullCompromiseAlwaysWins(t *testing.T) {
+	res := game(t, Config{L: 2, Spread: 0, Px: 1, V0: 7, V1: 8}, 3)
+	if res.Advantage < 0.999 {
+		t.Fatalf("advantage %v at px=1", res.Advantage)
+	}
+	if res.FullReconstructions != res.Trials {
+		t.Fatal("not every trial reconstructed at px=1")
+	}
+}
+
+func TestBoundedSharesLeakScale(t *testing.T) {
+	// Readings of very different magnitude: bounded shares leak scale, so
+	// the advantage at modest px must exceed the full-ring advantage.
+	px := 0.3
+	bounded := game(t, Config{L: 2, Spread: 4, Px: px, V0: 1, V1: 100000}, 4)
+	ring := TheoreticalLeafAdvantage(px, 2)
+	if bounded.Advantage <= ring+0.05 {
+		t.Fatalf("bounded advantage %v does not exceed full-ring %v", bounded.Advantage, ring)
+	}
+}
+
+func TestBoundedSharesSimilarMagnitudesStayPrivate(t *testing.T) {
+	// Readings of the same magnitude are hard to separate below full
+	// reconstruction even with bounded shares.
+	px := 0.2
+	res := game(t, Config{L: 2, Spread: 4, Px: px, V0: 100, V1: -100, Trials: 40000}, 5)
+	// Reconstruction advantage alone would be 1-(1-0.04)^2 ~= 0.078; the
+	// magnitude leak adds little here. Allow some slack for the LRT's
+	// small edge on boundary shares.
+	if res.Advantage > 0.30 {
+		t.Fatalf("advantage %v too high for same-magnitude readings", res.Advantage)
+	}
+}
+
+func TestAdvantageIncreasesWithPx(t *testing.T) {
+	lo := game(t, Config{L: 2, Spread: 0, Px: 0.1, V0: 1, V1: 2, Trials: 40000}, 6)
+	hi := game(t, Config{L: 2, Spread: 0, Px: 0.6, V0: 1, V1: 2, Trials: 40000}, 7)
+	if lo.Advantage >= hi.Advantage {
+		t.Fatalf("advantage not increasing: %v vs %v", lo.Advantage, hi.Advantage)
+	}
+}
+
+func TestMoreSlicesReduceAdvantage(t *testing.T) {
+	px := 0.4
+	l2 := game(t, Config{L: 2, Spread: 0, Px: px, V0: 1, V1: 2, Trials: 40000}, 8)
+	l3 := game(t, Config{L: 3, Spread: 0, Px: px, V0: 1, V1: 2, Trials: 40000}, 9)
+	if l3.Advantage >= l2.Advantage {
+		t.Fatalf("l=3 advantage %v not below l=2 %v", l3.Advantage, l2.Advantage)
+	}
+}
+
+func TestTheoreticalLeafAdvantage(t *testing.T) {
+	if TheoreticalLeafAdvantage(0, 2) != 0 {
+		t.Fatal("px=0 advantage nonzero")
+	}
+	if TheoreticalLeafAdvantage(1, 2) != 1 {
+		t.Fatal("px=1 advantage not 1")
+	}
+	// 1-(1-0.01)^2 = 0.0199 for px=0.1, l=2.
+	if got := TheoreticalLeafAdvantage(0.1, 2); math.Abs(got-0.0199) > 1e-12 {
+		t.Fatalf("advantage %v", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{L: 0, Px: 0.1, V0: 1, V1: 2, Trials: 1},
+		{L: 2, Px: -0.1, V0: 1, V1: 2, Trials: 1},
+		{L: 2, Px: 1.1, V0: 1, V1: 2, Trials: 1},
+		{L: 2, Px: 0.1, V0: 1, V1: 1, Trials: 1},
+		{L: 2, Px: 0.1, V0: 1, V1: 2, Trials: 0},
+		{L: 2, Px: 0.1, V0: 1, V1: 2, Trials: 1, Spread: -1},
+	}
+	for i, c := range bad {
+		if _, err := RunGame(c, rng.New(1)); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministicGame(t *testing.T) {
+	cfg := Config{L: 2, Spread: 4, Px: 0.3, V0: 5, V1: 50, Trials: 5000}
+	a, err := RunGame(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGame(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("game not deterministic under fixed seed")
+	}
+}

@@ -1,0 +1,226 @@
+// Package radio models the shared wireless medium of a sensor network —
+// the physical layer of our ns-2 substitute.
+//
+// The model captures the properties the paper's evaluation depends on:
+//
+//   - Broadcast: every frame is heard by every node in range of the sender,
+//     which is what makes eavesdropping (and the paper's two-colored-HELLO
+//     detection argument) possible. Promiscuous taps observe all traffic.
+//   - Collisions: two overlapping transmissions audible at a receiver
+//     corrupt each other there (including hidden-terminal collisions the
+//     MAC cannot prevent); a node cannot receive while transmitting.
+//   - Timing: a frame of s bytes occupies the channel for s*8/DataRate
+//     seconds; the evaluation uses the paper's 1 Mbps.
+//   - Accounting: per-node and global byte/frame counters feed the
+//     communication-overhead experiments (Figure 7).
+//
+// Propagation delay is negligible at sensor-network scales (50 m ≈ 0.17 µs)
+// and is modelled as zero.
+package radio
+
+import (
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/energy"
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Receiver handles frames successfully decoded by a node.
+type Receiver func(self topology.NodeID, frame []byte)
+
+// Tap observes every frame audible at a node, decoded or not — the
+// eavesdropper's and the monitor's view of the medium. collided reports
+// whether the frame was corrupted at this observer.
+type Tap func(observer topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool)
+
+// Stats are cumulative medium counters.
+type Stats struct {
+	FramesSent      uint64
+	BytesSent       uint64
+	FramesDelivered uint64 // successful decodes at addressed receivers
+	FramesCollided  uint64 // receptions lost to collisions or half-duplex
+}
+
+// Medium is the shared radio channel over a fixed topology. It is driven
+// entirely by the owning simulation and is not safe for concurrent use.
+type Medium struct {
+	sim      *eventsim.Sim
+	net      *topology.Network
+	rateBps  float64
+	receiver []Receiver
+	taps     []Tap
+
+	txUntil   []eventsim.Time // per node: end of current transmission
+	incoming  [][]*reception  // per node: receptions in progress
+	nodeSent  []uint64        // per node: bytes transmitted
+	nodeCount []uint64        // per node: frames transmitted
+	stats     Stats
+	meter     *energy.Meter
+	lossRate  float64
+	lossRand  *rng.Stream
+}
+
+type reception struct {
+	src   topology.NodeID
+	dst   topology.NodeID
+	frame []byte
+	size  int
+	ok    bool
+}
+
+// New creates a medium over net driven by sim at the given data rate.
+func New(sim *eventsim.Sim, net *topology.Network, rateBps float64) *Medium {
+	if rateBps <= 0 {
+		panic("radio: data rate must be positive")
+	}
+	n := net.N()
+	return &Medium{
+		sim:       sim,
+		net:       net,
+		rateBps:   rateBps,
+		receiver:  make([]Receiver, n),
+		txUntil:   make([]eventsim.Time, n),
+		incoming:  make([][]*reception, n),
+		nodeSent:  make([]uint64, n),
+		nodeCount: make([]uint64, n),
+	}
+}
+
+// PaperRate is the 1 Mbps data rate of the paper's simulation setup.
+const PaperRate = 1e6
+
+// SetReceiver installs the decode callback for a node.
+func (m *Medium) SetReceiver(id topology.NodeID, r Receiver) { m.receiver[id] = r }
+
+// AddTap installs a promiscuous observer over the whole medium.
+func (m *Medium) AddTap(t Tap) { m.taps = append(m.taps, t) }
+
+// SetMeter attaches an energy meter: every transmission charges its
+// sender and every audible frame charges its hearers (decoded or not —
+// the radio must power its receive chain either way).
+func (m *Medium) SetMeter(meter *energy.Meter) { m.meter = meter }
+
+// SetLoss adds independent per-reception fading loss: each reception is
+// corrupted with probability rate on top of the collision model, drawing
+// from rand. This approximates shadowing/fading that a disk propagation
+// model otherwise hides. rate must be in [0, 1).
+func (m *Medium) SetLoss(rate float64, rand *rng.Stream) {
+	if rate < 0 || rate >= 1 {
+		panic("radio: loss rate must be in [0, 1)")
+	}
+	m.lossRate = rate
+	m.lossRand = rand
+}
+
+// Stats returns cumulative medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// NodeBytesSent returns the bytes transmitted by one node.
+func (m *Medium) NodeBytesSent(id topology.NodeID) uint64 { return m.nodeSent[id] }
+
+// NodeFramesSent returns the frames transmitted by one node.
+func (m *Medium) NodeFramesSent(id topology.NodeID) uint64 { return m.nodeCount[id] }
+
+// TotalBytes returns the total bytes put on the air.
+func (m *Medium) TotalBytes() uint64 { return m.stats.BytesSent }
+
+// Duration returns the channel occupancy of a frame of size bytes.
+func (m *Medium) Duration(size int) eventsim.Time {
+	return eventsim.Time(float64(size) * 8 / m.rateBps)
+}
+
+// Busy reports whether node id senses the channel busy right now: it is
+// transmitting, or at least one transmitter is audible.
+func (m *Medium) Busy(id topology.NodeID) bool {
+	if m.txUntil[id] > m.sim.Now() {
+		return true
+	}
+	return len(m.incoming[id]) > 0
+}
+
+// Transmit puts a frame on the air from src. size is the on-air length in
+// bytes (including physical overhead); dst is a node ID or
+// packet.Broadcast. Delivery outcomes are resolved when the transmission
+// ends. Transmitting while already transmitting is a MAC bug and panics.
+func (m *Medium) Transmit(src topology.NodeID, dst int32, frame []byte, size int) {
+	now := m.sim.Now()
+	if m.txUntil[src] > now {
+		panic(fmt.Sprintf("radio: node %d transmit while transmitting", src))
+	}
+	dur := m.Duration(size)
+	m.txUntil[src] = now + dur
+	m.nodeSent[src] += uint64(size)
+	m.nodeCount[src]++
+	m.stats.FramesSent++
+	m.stats.BytesSent += uint64(size)
+	if m.meter != nil {
+		m.meter.ChargeTx(src, size)
+	}
+
+	// A node that starts transmitting corrupts any reception in progress
+	// at itself (half-duplex).
+	for _, rec := range m.incoming[src] {
+		rec.ok = false
+	}
+
+	for _, nb := range m.net.Neighbors(src) {
+		rec := &reception{src: src, dst: topology.NodeID(dst), frame: frame, size: size, ok: true}
+		if m.lossRate > 0 && m.lossRand.Bool(m.lossRate) {
+			rec.ok = false
+		}
+		// Receiver busy transmitting: cannot decode.
+		if m.txUntil[nb] > now {
+			rec.ok = false
+		}
+		// Overlap with other receptions corrupts all of them at nb.
+		if len(m.incoming[nb]) > 0 {
+			rec.ok = false
+			for _, other := range m.incoming[nb] {
+				other.ok = false
+			}
+		}
+		m.incoming[nb] = append(m.incoming[nb], rec)
+		nb := nb
+		m.sim.At(now+dur, func() { m.finish(nb, rec) })
+	}
+}
+
+// finish resolves one reception at node nb.
+func (m *Medium) finish(nb topology.NodeID, rec *reception) {
+	// Remove rec from the active set.
+	active := m.incoming[nb]
+	for i, r := range active {
+		if r == rec {
+			active[i] = active[len(active)-1]
+			m.incoming[nb] = active[:len(active)-1]
+			break
+		}
+	}
+	// If the receiver is mid-transmission at the end of the frame it also
+	// cannot have decoded it.
+	if m.txUntil[nb] > m.sim.Now() {
+		rec.ok = false
+	}
+	if m.meter != nil {
+		m.meter.ChargeRx(nb, rec.size)
+	}
+	addressed := rec.dst == topology.NodeID(packet.Broadcast) || rec.dst == nb
+	for _, tap := range m.taps {
+		tap(nb, rec.src, rec.dst, rec.frame, !rec.ok)
+	}
+	if !rec.ok {
+		if addressed {
+			m.stats.FramesCollided++
+		}
+		return
+	}
+	if addressed {
+		m.stats.FramesDelivered++
+		if h := m.receiver[nb]; h != nil {
+			h(nb, rec.frame)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package radio
+
+import (
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/energy"
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// lineNet builds a 3-node line: 0 -- 1 -- 2, where 0 and 2 are out of range
+// of each other (the classic hidden-terminal layout).
+func lineNet(t *testing.T) *topology.Network {
+	t.Helper()
+	// Place nodes at x = 0, 45, 90 with range 50: 0-1 and 1-2 linked,
+	// 0-2 not. Grid won't do; use Random config trick: build via Grid of
+	// 1x3? Simplest: craft positions through topology.Random is not
+	// possible, so use a tiny custom helper network via Grid spacing.
+	net, err := topology.Grid(2, 45, 50) // BS at center + 4 lattice nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// pair returns a fresh sim+medium over a 2-node-in-range network.
+func pair(t *testing.T) (*eventsim.Sim, *Medium, *topology.Network) {
+	t.Helper()
+	net, err := topology.Grid(2, 30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := eventsim.New()
+	return sim, New(sim, net, PaperRate), net
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	sim, m, net := pair(t)
+	got := map[topology.NodeID][]byte{}
+	for i := 0; i < net.N(); i++ {
+		id := topology.NodeID(i)
+		m.SetReceiver(id, func(self topology.NodeID, frame []byte) {
+			got[self] = frame
+		})
+	}
+	frame := []byte{1, 2, 3}
+	sim.At(0, func() { m.Transmit(0, packet.Broadcast, frame, 30) })
+	sim.RunAll()
+	want := len(net.Neighbors(0))
+	if len(got) != want {
+		t.Fatalf("delivered to %d nodes, want %d (all neighbors)", len(got), want)
+	}
+	for id, f := range got {
+		if string(f) != string(frame) {
+			t.Fatalf("node %d got %v", id, f)
+		}
+	}
+}
+
+func TestUnicastOnlyAddressee(t *testing.T) {
+	sim, m, net := pair(t)
+	delivered := map[topology.NodeID]bool{}
+	for i := 0; i < net.N(); i++ {
+		id := topology.NodeID(i)
+		m.SetReceiver(id, func(self topology.NodeID, _ []byte) { delivered[self] = true })
+	}
+	dst := net.Neighbors(0)[0]
+	sim.At(0, func() { m.Transmit(0, int32(dst), []byte{9}, 20) })
+	sim.RunAll()
+	if len(delivered) != 1 || !delivered[dst] {
+		t.Fatalf("unicast delivered to %v, want only %d", delivered, dst)
+	}
+}
+
+func TestTapSeesUnaddressedFrames(t *testing.T) {
+	sim, m, net := pair(t)
+	type obs struct {
+		observer, src topology.NodeID
+		collided      bool
+	}
+	var taps []obs
+	m.AddTap(func(observer topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool) {
+		taps = append(taps, obs{observer, src, collided})
+	})
+	dst := net.Neighbors(0)[0]
+	sim.At(0, func() { m.Transmit(0, int32(dst), []byte{9}, 20) })
+	sim.RunAll()
+	// Every neighbor of 0 observes the frame, not just dst.
+	if len(taps) != len(net.Neighbors(0)) {
+		t.Fatalf("taps = %d, want %d", len(taps), len(net.Neighbors(0)))
+	}
+	for _, o := range taps {
+		if o.src != 0 || o.collided {
+			t.Fatalf("unexpected tap %+v", o)
+		}
+	}
+}
+
+func TestHiddenTerminalCollision(t *testing.T) {
+	net := lineNet(t)
+	// Find two lattice nodes both adjacent to some center node but not to
+	// each other (hidden pair).
+	var a, b, mid topology.NodeID = -1, -1, -1
+outer:
+	for i := 0; i < net.N(); i++ {
+		for _, m1 := range net.Neighbors(topology.NodeID(i)) {
+			for _, m2 := range net.Neighbors(topology.NodeID(i)) {
+				if m1 != m2 && !net.InRange(m1, m2) {
+					a, b, mid = m1, m2, topology.NodeID(i)
+					break outer
+				}
+			}
+		}
+	}
+	if a < 0 {
+		t.Skip("no hidden pair in test topology")
+	}
+	sim := eventsim.New()
+	m := New(sim, net, PaperRate)
+	received := 0
+	m.SetReceiver(mid, func(topology.NodeID, []byte) { received++ })
+	// Overlapping transmissions from the hidden pair.
+	sim.At(0, func() { m.Transmit(a, packet.Broadcast, []byte{1}, 100) })
+	sim.At(0.0001, func() { m.Transmit(b, packet.Broadcast, []byte{2}, 100) })
+	sim.RunAll()
+	if received != 0 {
+		t.Fatalf("hidden-terminal frames decoded at %d: %d", mid, received)
+	}
+	if m.Stats().FramesCollided == 0 {
+		t.Fatal("no collisions recorded")
+	}
+}
+
+func TestNonOverlappingFramesBothDecode(t *testing.T) {
+	sim, m, net := pair(t)
+	dst := net.Neighbors(0)[0]
+	count := 0
+	m.SetReceiver(dst, func(topology.NodeID, []byte) { count++ })
+	sim.At(0, func() { m.Transmit(0, int32(dst), []byte{1}, 50) })
+	// 50 bytes at 1 Mbps = 400 us; second frame well clear.
+	sim.At(0.001, func() { m.Transmit(0, int32(dst), []byte{2}, 50) })
+	sim.RunAll()
+	if count != 2 {
+		t.Fatalf("decoded %d frames, want 2", count)
+	}
+}
+
+func TestHalfDuplexReceiverTransmitting(t *testing.T) {
+	sim, m, net := pair(t)
+	dst := net.Neighbors(0)[0]
+	count := 0
+	m.SetReceiver(dst, func(topology.NodeID, []byte) { count++ })
+	// dst starts a long transmission; 0 sends to dst during it.
+	sim.At(0, func() { m.Transmit(dst, packet.Broadcast, []byte{7}, 1000) })
+	sim.At(0.001, func() { m.Transmit(0, int32(dst), []byte{1}, 20) })
+	sim.RunAll()
+	if count != 0 {
+		t.Fatal("receiver decoded a frame while transmitting")
+	}
+}
+
+func TestBusy(t *testing.T) {
+	sim, m, net := pair(t)
+	dst := net.Neighbors(0)[0]
+	var during, afterT bool
+	sim.At(0, func() { m.Transmit(0, int32(dst), []byte{1}, 125) }) // 1 ms
+	sim.At(0.0005, func() { during = m.Busy(dst) })
+	sim.At(0.002, func() { afterT = m.Busy(dst) })
+	sim.RunAll()
+	if !during {
+		t.Fatal("channel not busy during transmission")
+	}
+	if afterT {
+		t.Fatal("channel busy after transmission ended")
+	}
+}
+
+func TestTransmitWhileTransmittingPanics(t *testing.T) {
+	sim, m, _ := pair(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sim.At(0, func() {
+		m.Transmit(0, packet.Broadcast, []byte{1}, 1000)
+		m.Transmit(0, packet.Broadcast, []byte{2}, 1000)
+	})
+	sim.RunAll()
+}
+
+func TestStatsAccounting(t *testing.T) {
+	sim, m, net := pair(t)
+	dst := net.Neighbors(0)[0]
+	sim.At(0, func() { m.Transmit(0, int32(dst), []byte{1}, 40) })
+	sim.At(0.01, func() { m.Transmit(dst, int32(0), []byte{2}, 60) })
+	sim.RunAll()
+	s := m.Stats()
+	if s.FramesSent != 2 || s.BytesSent != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.FramesDelivered != 2 {
+		t.Fatalf("delivered = %d", s.FramesDelivered)
+	}
+	if m.NodeBytesSent(0) != 40 || m.NodeFramesSent(0) != 1 {
+		t.Fatalf("node 0 accounting: %d bytes %d frames", m.NodeBytesSent(0), m.NodeFramesSent(0))
+	}
+	if m.TotalBytes() != 100 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+}
+
+func TestEnergyMetering(t *testing.T) {
+	sim, m, net := pair(t)
+	meter, err := energy.NewMeter(net.N(), energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMeter(meter)
+	dst := net.Neighbors(0)[0]
+	sim.At(0, func() { m.Transmit(0, int32(dst), []byte{1}, 50) })
+	sim.RunAll()
+	model := energy.DefaultModel()
+	if got, want := meter.Spent(0), 50*model.TxPerByte; got != want {
+		t.Fatalf("tx charge %v, want %v", got, want)
+	}
+	// Every neighbor of 0 paid the receive cost, not just the addressee.
+	for _, nb := range net.Neighbors(0) {
+		if got, want := meter.Spent(nb), 50*model.RxPerByte; got != want {
+			t.Fatalf("rx charge at %d = %v, want %v", nb, got, want)
+		}
+	}
+}
+
+func TestFadingLoss(t *testing.T) {
+	net, err := topology.Grid(2, 30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := eventsim.New()
+	m := New(sim, net, PaperRate)
+	m.SetLoss(0.5, rng.New(9))
+	dst := net.Neighbors(0)[0]
+	got := 0
+	m.SetReceiver(dst, func(topology.NodeID, []byte) { got++ })
+	const frames = 400
+	for i := 0; i < frames; i++ {
+		i := i
+		sim.At(eventsim.Time(i)*0.01, func() { m.Transmit(0, int32(dst), []byte{byte(i)}, 25) })
+	}
+	sim.RunAll()
+	if got < frames*35/100 || got > frames*65/100 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, frames)
+	}
+}
+
+func TestSetLossValidation(t *testing.T) {
+	net, _ := topology.Grid(2, 30, 50)
+	m := New(eventsim.New(), net, PaperRate)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.SetLoss(1.0, rng.New(1))
+}
+
+func TestDuration(t *testing.T) {
+	sim := eventsim.New()
+	net, _ := topology.Grid(2, 30, 50)
+	m := New(sim, net, 1e6)
+	if d := m.Duration(125); d != eventsim.Time(0.001) {
+		t.Fatalf("Duration(125) = %v, want 1 ms", d)
+	}
+}
+
+func TestOutOfRangeNoDelivery(t *testing.T) {
+	// Two isolated nodes: craft with a sparse grid (spacing > range).
+	net, err := topology.Grid(2, 200, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two nodes with no neighbors in common... actually spacing 200
+	// with range 50 isolates all lattice nodes.
+	sim := eventsim.New()
+	m := New(sim, net, PaperRate)
+	count := 0
+	for i := 0; i < net.N(); i++ {
+		m.SetReceiver(topology.NodeID(i), func(topology.NodeID, []byte) { count++ })
+	}
+	var isolated topology.NodeID = -1
+	for i := 0; i < net.N(); i++ {
+		if net.Degree(topology.NodeID(i)) == 0 {
+			isolated = topology.NodeID(i)
+			break
+		}
+	}
+	if isolated < 0 {
+		t.Skip("no isolated node")
+	}
+	sim.At(0, func() { m.Transmit(isolated, packet.Broadcast, []byte{1}, 30) })
+	sim.RunAll()
+	if count != 0 {
+		t.Fatal("isolated node's frame was delivered")
+	}
+}

@@ -1,0 +1,196 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for reproducible simulation.
+//
+// Every run of the simulator is driven by a single root seed; independent
+// subsystems (deployment, MAC backoff, slicing, attacker coin flips, ...)
+// each derive their own stream with Split, so adding randomness consumption
+// to one subsystem never perturbs another. The generator is SplitMix64 for
+// stream derivation and xoshiro256** for the streams themselves — both are
+// small, fast, and well understood; no external dependencies.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream. It is NOT safe for
+// concurrent use; derive one stream per goroutine with Split.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used to seed xoshiro state and to derive child stream seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from seed. Streams with distinct seeds are
+// statistically independent.
+func New(seed uint64) *Stream {
+	st := seed
+	var r Stream
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives an independent child stream identified by label. Splitting
+// does not advance the parent, so the set of children is stable regardless
+// of how much randomness the parent itself consumes.
+func (r *Stream) Split(label uint64) *Stream {
+	// Mix the current state with the label through SplitMix64 so that
+	// (stream, label) pairs map to well-separated seeds.
+	seed := r.s[0] ^ rotl(r.s[2], 17) ^ (label * 0xd1342543de82ef95)
+	return New(splitmix64(&seed))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Stream) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Int64n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Stream) Int64n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64n with non-positive n")
+	}
+	return int64(r.boundedUint64(uint64(n)))
+}
+
+// boundedUint64 returns a uniform value in [0, bound) using Lemire's
+// nearly-divisionless rejection method.
+func (r *Stream) boundedUint64(bound uint64) uint64 {
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *Stream) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Stream) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomizes the order of n elements using swap (Fisher–Yates).
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *Stream) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample k out of range")
+	}
+	// Partial Fisher–Yates over an index map: O(k) space for small k.
+	chosen := make([]int, 0, k)
+	remap := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vj, ok := remap[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := remap[i]
+		if !ok {
+			vi = i
+		}
+		remap[j] = vi
+		chosen = append(chosen, vj)
+	}
+	return chosen
+}

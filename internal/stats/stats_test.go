@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased = 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v", s.Variance())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleSingle(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single-observation sample wrong")
+	}
+}
+
+func TestMergeEquivalentToSequential(t *testing.T) {
+	if err := quick.Check(func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e6))
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var s1, s2, merged Sample
+		s1.AddAll(a)
+		s2.AddAll(b)
+		merged = s1
+		merged.Merge(&s2)
+		var ref Sample
+		ref.AddAll(a)
+		ref.AddAll(b)
+		if merged.N() != ref.N() {
+			return false
+		}
+		if ref.N() == 0 {
+			return true
+		}
+		tol := 1e-9 * (1 + math.Abs(ref.Mean()))
+		return math.Abs(merged.Mean()-ref.Mean()) < tol &&
+			math.Abs(merged.Variance()-ref.Variance()) < 1e-6*(1+ref.Variance())
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMinMax(t *testing.T) {
+	var a, b Sample
+	a.AddAll([]float64{5, 6, 7})
+	b.AddAll([]float64{1, 10})
+	a.Merge(&b)
+	if a.Min() != 1 || a.Max() != 10 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile of empty slice should be NaN")
+	}
+	// Quantile must not modify its input.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, 10, -1, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 1 {
+		t.Fatalf("outliers = %d/%d", under, over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99 and 10 (max lands in last bin)
+		t.Fatalf("bin 4 = %d", h.Counts[4])
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("acc")
+	s.At(200).Add(0.5)
+	s.At(200).Add(0.7)
+	s.At(300).Add(0.9)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if n := s.At(200).N(); n != 2 {
+		t.Fatalf("At(200).N = %d", n)
+	}
+	if math.Abs(s.At(200).Mean()-0.6) > 1e-12 {
+		t.Fatalf("At(200).Mean = %v", s.At(200).Mean())
+	}
+	if s.X[0] != 200 || s.X[1] != 300 {
+		t.Fatal("series insertion order not preserved")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}

@@ -1,0 +1,227 @@
+// Package tag implements the TAG baseline (Madden et al., OSDI'02) the
+// paper compares against: plain in-network additive aggregation over a
+// single spanning tree, with no privacy and no integrity protection.
+//
+// Each node sends exactly two messages per query — the tree-construction
+// HELLO and one partial-aggregate message to its parent — which is the
+// denominator of the paper's (2l+1)/2 overhead ratio. Readings travel in
+// the clear: any neighbor of a leaf learns the leaf's value, which is the
+// privacy failure iPDA exists to fix.
+package tag
+
+import (
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/aggregate"
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+// Config parameterizes a TAG instance.
+type Config struct {
+	MAC mac.Config
+	// TreeDeadline bounds spanning-tree construction.
+	TreeDeadline eventsim.Time
+	// AggSlot is the per-hop transmission slot of the aggregation epoch.
+	AggSlot eventsim.Time
+}
+
+// DefaultConfig returns parameters matched to the iPDA defaults so byte
+// comparisons are apples-to-apples.
+func DefaultConfig() Config {
+	return Config{MAC: mac.DefaultConfig(), TreeDeadline: 10, AggSlot: 0.25}
+}
+
+// Instance is one deployed TAG network.
+type Instance struct {
+	Net    *topology.Network
+	Cfg    Config
+	Sim    *eventsim.Sim
+	Medium *radio.Medium
+	MAC    *mac.MAC
+	Tree   *tree.TAGResult
+
+	rand  *rng.Stream
+	round uint16
+
+	childSum   []int64
+	childCount []uint32
+	sent       []bool
+}
+
+// New deploys a TAG instance and builds its spanning tree.
+func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
+	if cfg.TreeDeadline <= 0 || cfg.AggSlot <= 0 {
+		return nil, fmt.Errorf("tag: deadlines must be positive")
+	}
+	root := rng.New(seed)
+	sim := eventsim.New()
+	medium := radio.New(sim, net, radio.PaperRate)
+	m := mac.New(sim, medium, net.N(), cfg.MAC, root.Split(1))
+	tr := tree.BuildTAG(sim, medium, m, net, cfg.TreeDeadline)
+	return &Instance{
+		Net:    net,
+		Cfg:    cfg,
+		Sim:    sim,
+		Medium: medium,
+		MAC:    m,
+		Tree:   tr,
+		rand:   root.Split(2),
+	}, nil
+}
+
+// Participants returns the nodes on the spanning tree (excluding the base
+// station), i.e. the nodes whose readings a query reaches.
+func (in *Instance) Participants() []topology.NodeID {
+	var out []topology.NodeID
+	for i := 1; i < in.Net.N(); i++ {
+		if in.Tree.Reached[i] {
+			out = append(out, topology.NodeID(i))
+		}
+	}
+	return out
+}
+
+// Outcome reports one TAG aggregation round.
+type Outcome struct {
+	Sum          int64
+	Count        uint32 // partial-aggregate messages folded at the BS side
+	Participants int
+	Bytes        uint64
+	Frames       uint64
+}
+
+// Result reports one full TAG query.
+type Result struct {
+	Spec     aggregate.Spec
+	Outcomes []Outcome
+	Value    float64
+	Count    uint32
+}
+
+// Run answers one aggregation query; readings[0] is ignored.
+func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) {
+	if len(readings) != in.Net.N() {
+		return nil, fmt.Errorf("tag: %d readings for %d nodes", len(readings), in.Net.N())
+	}
+	valueRounds := spec.Rounds()
+	total := valueRounds
+	needsCount := spec.Kind == aggregate.Average || spec.Kind == aggregate.Variance
+	if needsCount {
+		total++
+	}
+	res := &Result{Spec: spec}
+	sums := make([]int64, valueRounds)
+	var count uint32
+	countSpec := aggregate.SpecFor(aggregate.Count)
+	for round := 0; round < total; round++ {
+		contribs := make([]int64, in.Net.N())
+		for i := 1; i < in.Net.N(); i++ {
+			var c int64
+			var err error
+			if round < valueRounds {
+				c, err = spec.Contribution(readings[i], round)
+			} else {
+				c, err = countSpec.Contribution(readings[i], 0)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("tag: node %d: %w", i, err)
+			}
+			contribs[i] = c
+		}
+		out := in.runRound(contribs)
+		res.Outcomes = append(res.Outcomes, out)
+		if round < valueRounds {
+			sums[round] = out.Sum
+		} else {
+			count = uint32(out.Sum)
+		}
+	}
+	if !needsCount && len(res.Outcomes) > 0 {
+		count = uint32(res.Outcomes[0].Participants)
+	}
+	res.Count = count
+	v, err := spec.Finalize(sums, count)
+	if err != nil {
+		return nil, fmt.Errorf("tag: finalize: %w", err)
+	}
+	res.Value = v
+	return res, nil
+}
+
+// RunSum is shorthand for a plain SUM query.
+func (in *Instance) RunSum(readings []int64) (*Result, error) {
+	return in.Run(aggregate.SpecFor(aggregate.Sum), readings)
+}
+
+// RunCount is shorthand for a COUNT query.
+func (in *Instance) RunCount() (*Result, error) {
+	return in.Run(aggregate.SpecFor(aggregate.Count), make([]int64, in.Net.N()))
+}
+
+// runRound executes one TAG epoch: every tree node sends (own contribution
+// + children's partials) to its parent, deepest hops first.
+func (in *Instance) runRound(contribs []int64) Outcome {
+	n := in.Net.N()
+	in.round++
+	round := in.round
+	startBytes := in.Medium.TotalBytes()
+	startFrames := in.Medium.Stats().FramesSent
+
+	in.childSum = make([]int64, n)
+	in.childCount = make([]uint32, n)
+	in.sent = make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		in.MAC.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
+			if p.Kind != packet.KindAggregate || p.Round != round {
+				return
+			}
+			in.childSum[self] += p.Value
+			in.childCount[self] += p.Count
+		})
+	}
+
+	maxHop := uint16(0)
+	participants := 0
+	for i := 1; i < n; i++ {
+		if in.Tree.Reached[i] {
+			participants++
+			if in.Tree.Hop[i] > maxHop {
+				maxHop = in.Tree.Hop[i]
+			}
+		}
+	}
+	t0 := in.Sim.Now()
+	for i := 1; i < n; i++ {
+		id := topology.NodeID(i)
+		if !in.Tree.Reached[id] {
+			continue
+		}
+		slot := eventsim.Time(maxHop-in.Tree.Hop[id]) * in.Cfg.AggSlot
+		jitter := eventsim.Time(in.rand.Float64()) * in.Cfg.AggSlot / 2
+		contrib := contribs[i]
+		in.Sim.At(t0+slot+jitter, func() {
+			in.MAC.Send(id, &packet.Packet{
+				Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(in.Tree.Parent[id]), Round: round},
+				Value:  contrib + in.childSum[id],
+				Count:  in.childCount[id] + 1,
+			})
+		})
+	}
+	deadline := t0 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
+	in.Sim.Run(deadline)
+
+	return Outcome{
+		Sum:          in.childSum[0],
+		Count:        in.childCount[0],
+		Participants: participants,
+		Bytes:        in.Medium.TotalBytes() - startBytes,
+		Frames:       in.Medium.Stats().FramesSent - startFrames,
+	}
+}

@@ -1,0 +1,205 @@
+// Package trace records a structured timeline of protocol events — the
+// debugging facility a protocol implementation ships with. A Log is a
+// bounded in-memory event buffer; AttachRadio taps the shared medium and
+// turns every audible frame into a decoded, human-readable event. The
+// JSON-lines writer feeds external tooling.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	// Time is simulated seconds since the start of the run.
+	Time float64 `json:"t"`
+	// Node is the observing node.
+	Node int32 `json:"node"`
+	// Kind classifies the event ("rx", "collision", custom kinds).
+	Kind string `json:"kind"`
+	// Detail is a short human-readable description.
+	Detail string `json:"detail"`
+}
+
+// Log is a bounded event buffer. The zero value is unusable; use New.
+type Log struct {
+	limit   int
+	events  []Event
+	dropped int
+}
+
+// New creates a log that keeps at most limit events; further events are
+// counted but not stored.
+func New(limit int) *Log {
+	if limit <= 0 {
+		panic("trace: limit must be positive")
+	}
+	return &Log{limit: limit}
+}
+
+// Add records one event.
+func (l *Log) Add(ev Event) {
+	if len(l.events) >= l.limit {
+		l.dropped++
+		return
+	}
+	l.events = append(l.events, ev)
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event { return l.events }
+
+// Dropped returns how many events arrived after the buffer filled.
+func (l *Log) Dropped() int { return l.dropped }
+
+// WriteJSON emits the log as JSON lines (one event per line).
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range l.events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	if l.dropped > 0 {
+		if err := enc.Encode(map[string]int{"dropped": l.dropped}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a timeline for quick inspection.
+type Summary struct {
+	Events     int
+	Dropped    int
+	Collisions int
+	// ByDetailKind counts events by the leading word of Detail (HELLO,
+	// SLICE, AGG, QUERY, ACK, ...).
+	ByDetailKind map[string]int
+	// BusiestNode is the node that observed the most events.
+	BusiestNode int32
+	// Span is the [first, last] event time.
+	First, Last float64
+}
+
+// Summarize builds a Summary from a log.
+func Summarize(l *Log) Summary {
+	s := Summary{Dropped: l.Dropped(), ByDetailKind: map[string]int{}}
+	perNode := map[int32]int{}
+	for i, ev := range l.Events() {
+		s.Events++
+		if ev.Kind == "collision" {
+			s.Collisions++
+		}
+		word := ev.Detail
+		for j := 0; j < len(word); j++ {
+			if word[j] == ' ' {
+				word = word[:j]
+				break
+			}
+		}
+		s.ByDetailKind[word]++
+		perNode[ev.Node]++
+		if i == 0 || ev.Time < s.First {
+			s.First = ev.Time
+		}
+		if ev.Time > s.Last {
+			s.Last = ev.Time
+		}
+	}
+	best := -1
+	for node, count := range perNode {
+		if count > best || (count == best && node < s.BusiestNode) {
+			best = count
+			s.BusiestNode = node
+		}
+	}
+	return s
+}
+
+// ReadJSON parses a JSON-lines timeline produced by WriteJSON back into a
+// log (the dropped-marker line, if present, restores the dropped count).
+func ReadJSON(r io.Reader, limit int) (*Log, error) {
+	l := New(limit)
+	dec := json.NewDecoder(r)
+	for {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err != nil {
+			if err == io.EOF {
+				return l, nil
+			}
+			return nil, err
+		}
+		if d, ok := raw["dropped"]; ok && len(raw) == 1 {
+			if n, ok := d.(float64); ok {
+				l.dropped += int(n)
+			}
+			continue
+		}
+		ev := Event{}
+		if t, ok := raw["t"].(float64); ok {
+			ev.Time = t
+		}
+		if n, ok := raw["node"].(float64); ok {
+			ev.Node = int32(n)
+		}
+		if k, ok := raw["kind"].(string); ok {
+			ev.Kind = k
+		}
+		if d, ok := raw["detail"].(string); ok {
+			ev.Detail = d
+		}
+		l.Add(ev)
+	}
+}
+
+// AttachRadio taps the medium: every frame audible at any node becomes an
+// "rx" event (or "collision" when corrupted there), with the decoded
+// packet summarized in Detail. Call before running the protocol.
+func AttachRadio(l *Log, sim *eventsim.Sim, medium *radio.Medium) {
+	medium.AddTap(func(observer topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool) {
+		kind := "rx"
+		if collided {
+			kind = "collision"
+		}
+		l.Add(Event{
+			Time:   float64(sim.Now()),
+			Node:   int32(observer),
+			Kind:   kind,
+			Detail: describe(src, dst, frame),
+		})
+	})
+}
+
+// describe renders a frame compactly.
+func describe(src, dst topology.NodeID, frame []byte) string {
+	p, err := packet.Unmarshal(frame)
+	if err != nil {
+		return fmt.Sprintf("%d->%d undecodable (%d bytes)", src, dst, len(frame))
+	}
+	to := fmt.Sprintf("%d", dst)
+	if int32(dst) == packet.Broadcast {
+		to = "*"
+	}
+	switch p.Kind {
+	case packet.KindHello:
+		return fmt.Sprintf("HELLO %d->%s color=%v hop=%d", src, to, p.Color, p.Hop)
+	case packet.KindSlice:
+		return fmt.Sprintf("SLICE %d->%s tree=%v round=%d", src, to, p.Color, p.Round)
+	case packet.KindAggregate:
+		return fmt.Sprintf("AGG %d->%s tree=%v round=%d value=%d count=%d", src, to, p.Color, p.Round, p.Value, p.Count)
+	case packet.KindQuery:
+		return fmt.Sprintf("QUERY %d->%s round=%d", src, to, p.Round)
+	case packet.KindAck:
+		return fmt.Sprintf("ACK %d->%s seq=%d", src, to, p.Seq)
+	default:
+		return fmt.Sprintf("%v %d->%s", p.Kind, src, to)
+	}
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+func TestLogBoundsAndOrder(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Time: float64(i), Kind: "x"})
+	}
+	if len(l.Events()) != 3 {
+		t.Fatalf("kept %d events", len(l.Events()))
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped %d", l.Dropped())
+	}
+	for i, ev := range l.Events() {
+		if ev.Time != float64(i) {
+			t.Fatalf("order broken: %v", l.Events())
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	l := New(2)
+	l.Add(Event{Time: 1.5, Node: 3, Kind: "rx", Detail: "HELLO 0->*"})
+	l.Add(Event{Time: 2, Node: 4, Kind: "collision", Detail: "x"})
+	l.Add(Event{Time: 3, Node: 5, Kind: "rx", Detail: "y"}) // dropped
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // 2 events + dropped marker
+		t.Fatalf("lines: %v", lines)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Time != 1.5 || ev.Node != 3 || ev.Kind != "rx" {
+		t.Fatalf("decoded %+v", ev)
+	}
+}
+
+func TestNewPanicsOnBadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAttachRadioRecordsFrames(t *testing.T) {
+	net, err := topology.Grid(2, 30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := eventsim.New()
+	medium := radio.New(sim, net, radio.PaperRate)
+	l := New(100)
+	AttachRadio(l, sim, medium)
+	hello := &packet.Packet{
+		Header: packet.Header{Kind: packet.KindHello, Src: 0, Dst: packet.Broadcast},
+		Color:  packet.Red,
+		Hop:    2,
+	}
+	sim.At(0.001, func() { medium.Transmit(0, packet.Broadcast, hello.Marshal(), hello.Size()) })
+	sim.RunAll()
+	events := l.Events()
+	if len(events) != net.Degree(0) {
+		t.Fatalf("recorded %d events, want %d", len(events), net.Degree(0))
+	}
+	for _, ev := range events {
+		if ev.Kind != "rx" {
+			t.Fatalf("kind %q", ev.Kind)
+		}
+		if !strings.Contains(ev.Detail, "HELLO 0->*") || !strings.Contains(ev.Detail, "hop=2") {
+			t.Fatalf("detail %q", ev.Detail)
+		}
+		if ev.Time <= 0.001 {
+			t.Fatalf("event time %v not after transmission", ev.Time)
+		}
+	}
+}
+
+func TestSummarizeAndReadJSON(t *testing.T) {
+	l := New(10)
+	l.Add(Event{Time: 1, Node: 3, Kind: "rx", Detail: "HELLO 0->* color=red hop=0"})
+	l.Add(Event{Time: 2, Node: 3, Kind: "rx", Detail: "SLICE 1->3 tree=red round=1"})
+	l.Add(Event{Time: 3, Node: 4, Kind: "collision", Detail: "SLICE 2->4 tree=blue round=1"})
+	s := Summarize(l)
+	if s.Events != 3 || s.Collisions != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ByDetailKind["HELLO"] != 1 || s.ByDetailKind["SLICE"] != 2 {
+		t.Fatalf("by kind %v", s.ByDetailKind)
+	}
+	if s.BusiestNode != 3 {
+		t.Fatalf("busiest %d", s.BusiestNode)
+	}
+	if s.First != 1 || s.Last != 3 {
+		t.Fatalf("span %v..%v", s.First, s.Last)
+	}
+
+	// Round-trip through JSON lines.
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events()) != 3 {
+		t.Fatalf("read back %d events", len(back.Events()))
+	}
+	if back.Events()[1].Detail != l.Events()[1].Detail {
+		t.Fatal("detail lost in round trip")
+	}
+}
+
+func TestReadJSONDroppedMarker(t *testing.T) {
+	in := strings.NewReader(`{"t":1,"node":2,"kind":"rx","detail":"x"}` + "\n" + `{"dropped":7}` + "\n")
+	l, err := ReadJSON(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Events()) != 1 || l.Dropped() != 7 {
+		t.Fatalf("events %d dropped %d", len(l.Events()), l.Dropped())
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json"), 10); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDescribeKinds(t *testing.T) {
+	cases := []struct {
+		pkt  *packet.Packet
+		want string
+	}{
+		{&packet.Packet{Header: packet.Header{Kind: packet.KindSlice, Src: 1, Dst: 2, Round: 7}, Color: packet.Blue}, "SLICE 1->2 tree=blue round=7"},
+		{&packet.Packet{Header: packet.Header{Kind: packet.KindAggregate, Src: 3, Dst: 4, Round: 1}, Value: 42, Count: 2, Color: packet.Red}, "AGG 3->4 tree=red round=1 value=42 count=2"},
+		{&packet.Packet{Header: packet.Header{Kind: packet.KindQuery, Src: 0, Dst: packet.Broadcast, Round: 9}}, "QUERY 0->* round=9"},
+		{&packet.Packet{Header: packet.Header{Kind: packet.KindAck, Src: 5, Dst: 6, Seq: 11}}, "ACK 5->6 seq=11"},
+	}
+	for _, c := range cases {
+		got := describe(topology.NodeID(c.pkt.Src), topology.NodeID(c.pkt.Dst), c.pkt.Marshal())
+		if got != c.want {
+			t.Fatalf("describe = %q, want %q", got, c.want)
+		}
+	}
+	if got := describe(1, 2, []byte{1, 2}); !strings.Contains(got, "undecodable") {
+		t.Fatalf("bad frame described as %q", got)
+	}
+}

@@ -1,0 +1,441 @@
+// Package tree implements Phase I of iPDA — disjoint aggregation tree
+// construction (Section III-B of the paper) — and the TAG spanning-tree
+// construction used by the baseline.
+//
+// The base station floods HELLO messages as both a red and a blue
+// aggregator. A node that has heard HELLOs from aggregators of both colors
+// waits a short decision window, estimates the red/blue balance in its
+// neighborhood from the HELLOs it received, and then chooses a role: red
+// aggregator, blue aggregator, or leaf. Aggregators join the tree of their
+// color (parent = the lowest-hop heard aggregator of that color) and
+// forward the HELLO; leaves stay silent. Nodes that never hear both colors
+// cannot participate in aggregation — the coverage loss factor (a) of
+// Section IV-B.3.
+//
+// Role probabilities follow the paper's adaptive rule (Equation 1):
+//
+//	p  = min(1, k/(Nred+Nblue))   — the aggregator budget, k ≈ 4
+//	pr = p · Nblue/(Nred+Nblue)   — bias toward the under-represented color
+//	pb = p · Nred/(Nred+Nblue)
+//
+// or the simplified fixed rule pr = pb = 0.5 (Equation 2).
+package tree
+
+import (
+	"fmt"
+
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Role is a node's Phase I outcome.
+type Role uint8
+
+const (
+	// RoleUndecided marks nodes that never heard both tree colors; they do
+	// not participate in aggregation.
+	RoleUndecided Role = iota
+	// RoleLeaf nodes report data but never aggregate or forward.
+	RoleLeaf
+	// RoleRed nodes aggregate on the red tree.
+	RoleRed
+	// RoleBlue nodes aggregate on the blue tree.
+	RoleBlue
+	// RoleBase is the base station, root of both trees.
+	RoleBase
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleUndecided:
+		return "undecided"
+	case RoleLeaf:
+		return "leaf"
+	case RoleRed:
+		return "red"
+	case RoleBlue:
+		return "blue"
+	case RoleBase:
+		return "base"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Color returns the tree color of an aggregator role, or packet.NoColor.
+func (r Role) Color() packet.Color {
+	switch r {
+	case RoleRed:
+		return packet.Red
+	case RoleBlue:
+		return packet.Blue
+	default:
+		return packet.NoColor
+	}
+}
+
+// Config are Phase I parameters.
+type Config struct {
+	// K is the aggregator budget parameter k of Section III-B (paper
+	// recommends 4). Must be >= 2 when Adaptive.
+	K int
+	// Adaptive selects Equation (1) when true, Equation (2) (pr=pb=0.5)
+	// when false.
+	Adaptive bool
+	// DecisionDelay is how long a node waits after hearing both colors
+	// before fixing its role, to collect more HELLOs.
+	DecisionDelay eventsim.Time
+	// Deadline bounds the whole phase in simulated seconds.
+	Deadline eventsim.Time
+	// Disabled marks nodes excluded from the protocol entirely: they stay
+	// silent and undecided. Used for failure injection and for the
+	// O(log N) DoS-attacker localization of Section III-D. May be nil.
+	Disabled []bool
+	// ExtraRoots lists additional base stations beyond node 0 (Section
+	// II-A: "iPDA is readily extensible to multiple base station cases").
+	// Every root floods both colors at hop 0 and collects aggregation
+	// results; nodes attach to whichever root's flood reaches them first.
+	ExtraRoots []topology.NodeID
+}
+
+// DefaultConfig returns the paper's parameters: adaptive roles with k = 4.
+func DefaultConfig() Config {
+	return Config{K: 4, Adaptive: true, DecisionDelay: 0.05, Deadline: 10}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Adaptive && c.K < 2 {
+		return fmt.Errorf("tree: adaptive config requires K >= 2, got %d", c.K)
+	}
+	if c.DecisionDelay <= 0 || c.Deadline <= 0 {
+		return fmt.Errorf("tree: delays must be positive")
+	}
+	return nil
+}
+
+// Result is the outcome of Phase I.
+type Result struct {
+	// Role per node; node 0 is RoleBase.
+	Role []Role
+	// Parent per node: the aggregation-tree parent of each aggregator,
+	// topology.None for the base station, leaves and undecided nodes.
+	Parent []topology.NodeID
+	// Hop per node: tree depth of each aggregator (0 for the base
+	// station); 0 for non-aggregators.
+	Hop []uint16
+	// RedNeighbors and BlueNeighbors are, per node, the aggregators of
+	// each color it actually heard a HELLO from — the candidate slice
+	// targets of Phase II. The base station appears in both lists of its
+	// neighbors.
+	RedNeighbors  [][]topology.NodeID
+	BlueNeighbors [][]topology.NodeID
+	// HelloBytes is the total radio traffic of the phase.
+	HelloBytes uint64
+	// HelloFrames is the number of HELLO frames transmitted.
+	HelloFrames uint64
+}
+
+// Aggregators returns the IDs of the aggregators with the given role.
+func (r *Result) Aggregators(role Role) []topology.NodeID {
+	var out []topology.NodeID
+	for i, ro := range r.Role {
+		if ro == role {
+			out = append(out, topology.NodeID(i))
+		}
+	}
+	return out
+}
+
+// CoveredBoth reports whether node id heard HELLOs from both trees — the
+// participation precondition of the protocol (factor (a) of Sec. IV-B.3).
+// An aggregator counts itself for its own color.
+func (r *Result) CoveredBoth(id topology.NodeID) bool {
+	red := len(r.RedNeighbors[id])
+	blue := len(r.BlueNeighbors[id])
+	switch r.Role[id] {
+	case RoleRed:
+		red++
+	case RoleBlue:
+		blue++
+	case RoleBase:
+		return true
+	}
+	return red > 0 && blue > 0
+}
+
+// CanSlice reports whether node id has enough aggregator neighbors to send
+// l slices per tree (factor (b) of Sec. IV-B.3): l red and l blue targets,
+// counting itself for its own color.
+func (r *Result) CanSlice(id topology.NodeID, l int) bool {
+	red := len(r.RedNeighbors[id])
+	blue := len(r.BlueNeighbors[id])
+	switch r.Role[id] {
+	case RoleRed:
+		red++
+	case RoleBlue:
+		blue++
+	case RoleBase:
+		return true
+	}
+	return red >= l && blue >= l
+}
+
+// Disjoint verifies the node-disjointness invariant: no node is an
+// aggregator on both trees. With a single Role per node the invariant holds
+// by construction; Disjoint re-checks the parent structure: every red
+// aggregator's parent is red (or the base station), and likewise for blue.
+func (r *Result) Disjoint() error {
+	for i, role := range r.Role {
+		p := r.Parent[i]
+		if role != RoleRed && role != RoleBlue {
+			if p != topology.None {
+				return fmt.Errorf("tree: non-aggregator %d has parent %d", i, p)
+			}
+			continue
+		}
+		if p == topology.None {
+			return fmt.Errorf("tree: aggregator %d has no parent", i)
+		}
+		pr := r.Role[p]
+		if pr != role && pr != RoleBase {
+			return fmt.Errorf("tree: %v aggregator %d has %v parent %d", role, i, pr, p)
+		}
+	}
+	return nil
+}
+
+// nodeState is the per-node Phase I state machine.
+type nodeState struct {
+	role                  Role
+	parent                topology.NodeID
+	hop                   uint16
+	redFrom               []topology.NodeID // senders of red HELLOs heard
+	blueFrom              []topology.NodeID
+	redMinHop, blueMinHop uint16
+	redParent, blueParent topology.NodeID
+	decisionArmed         bool
+	decided               bool
+}
+
+// BuildDisjoint runs Phase I over the given network and returns the
+// constructed trees. It drives sim until cfg.Deadline; the medium's
+// receivers are owned by this function for the duration of the call.
+func BuildDisjoint(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *topology.Network, cfg Config, rand *rng.Stream) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	states := make([]*nodeState, n)
+	for i := range states {
+		states[i] = &nodeState{
+			role: RoleUndecided, parent: topology.None,
+			redParent: topology.None, blueParent: topology.None,
+		}
+	}
+	states[0].role = RoleBase
+	states[0].decided = true
+	for _, r := range cfg.ExtraRoots {
+		if r <= 0 || int(r) >= n {
+			return nil, fmt.Errorf("tree: extra root %d out of range", r)
+		}
+		states[r].role = RoleBase
+		states[r].decided = true
+	}
+
+	startBytes := medium.TotalBytes()
+	startFrames := medium.Stats().FramesSent
+	roleRand := rand.Split(1)
+
+	sendHello := func(src topology.NodeID, color packet.Color, hop uint16) {
+		m.Send(src, &packet.Packet{
+			Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
+			Color:  color,
+			Hop:    hop,
+		})
+	}
+
+	decide := func(id topology.NodeID) {
+		st := states[id]
+		if st.decided {
+			return
+		}
+		st.decided = true
+		nRed, nBlue := len(st.redFrom), len(st.blueFrom)
+		if nRed == 0 || nBlue == 0 {
+			// Should not happen (decision is armed only after both colors)
+			// but lost frames cannot rescind; stay undecided.
+			st.decided = false
+			st.decisionArmed = false
+			return
+		}
+		var p, pr float64
+		if cfg.Adaptive {
+			p = 1
+			if nRed+nBlue > cfg.K {
+				p = float64(cfg.K) / float64(nRed+nBlue)
+			}
+			pr = p * float64(nBlue) / float64(nRed+nBlue)
+		} else {
+			p = 1
+			pr = 0.5
+		}
+		u := roleRand.Float64()
+		switch {
+		case u < pr:
+			st.role = RoleRed
+			st.parent = st.redParent
+			st.hop = st.redMinHop + 1
+			sendHello(id, packet.Red, st.hop)
+		case u < p:
+			st.role = RoleBlue
+			st.parent = st.blueParent
+			st.hop = st.blueMinHop + 1
+			sendHello(id, packet.Blue, st.hop)
+		default:
+			st.role = RoleLeaf
+		}
+	}
+
+	onHello := func(self topology.NodeID, p *packet.Packet) {
+		if len(cfg.Disabled) > int(self) && cfg.Disabled[self] {
+			return
+		}
+		st := states[self]
+		src := topology.NodeID(p.Src)
+		switch p.Color {
+		case packet.Red:
+			if !contains(st.redFrom, src) {
+				st.redFrom = append(st.redFrom, src)
+				if st.redParent == topology.None || p.Hop < st.redMinHop {
+					st.redParent, st.redMinHop = src, p.Hop
+				}
+			}
+		case packet.Blue:
+			if !contains(st.blueFrom, src) {
+				st.blueFrom = append(st.blueFrom, src)
+				if st.blueParent == topology.None || p.Hop < st.blueMinHop {
+					st.blueParent, st.blueMinHop = src, p.Hop
+				}
+			}
+		default:
+			return
+		}
+		if st.role == RoleBase || st.decided {
+			return
+		}
+		if !st.decisionArmed && len(st.redFrom) > 0 && len(st.blueFrom) > 0 {
+			st.decisionArmed = true
+			sim.After(cfg.DecisionDelay, func() { decide(self) })
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		m.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
+			if p.Kind == packet.KindHello {
+				onHello(self, p)
+			}
+		})
+	}
+
+	// Every base station initiates the flood as both a red and a blue
+	// aggregator at hop 0.
+	sim.After(0, func() {
+		sendHello(0, packet.Red, 0)
+		sendHello(0, packet.Blue, 0)
+		for _, r := range cfg.ExtraRoots {
+			sendHello(r, packet.Red, 0)
+			sendHello(r, packet.Blue, 0)
+		}
+	})
+	sim.Run(sim.Now() + cfg.Deadline)
+
+	res := &Result{
+		Role:          make([]Role, n),
+		Parent:        make([]topology.NodeID, n),
+		Hop:           make([]uint16, n),
+		RedNeighbors:  make([][]topology.NodeID, n),
+		BlueNeighbors: make([][]topology.NodeID, n),
+		HelloBytes:    medium.TotalBytes() - startBytes,
+		HelloFrames:   medium.Stats().FramesSent - startFrames,
+	}
+	for i, st := range states {
+		res.Role[i] = st.role
+		res.Parent[i] = st.parent
+		res.Hop[i] = st.hop
+		res.RedNeighbors[i] = st.redFrom
+		res.BlueNeighbors[i] = st.blueFrom
+	}
+	// Drop non-aggregator parents (leaves decided no parent already).
+	for i := range res.Parent {
+		if res.Role[i] != RoleRed && res.Role[i] != RoleBlue {
+			res.Parent[i] = topology.None
+			res.Hop[i] = 0
+		}
+	}
+	return res, nil
+}
+
+func contains(xs []topology.NodeID, x topology.NodeID) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TAGResult is the outcome of TAG spanning-tree construction: a single
+// aggregation tree over all reachable nodes.
+type TAGResult struct {
+	Parent      []topology.NodeID // topology.None for the root and unreached nodes
+	Hop         []uint16
+	Reached     []bool
+	HelloBytes  uint64
+	HelloFrames uint64
+}
+
+// BuildTAG floods a single-tree HELLO from the base station (node 0): each
+// node adopts the first heard sender as parent and rebroadcasts once. This
+// is the tree TAG aggregates over.
+func BuildTAG(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *topology.Network, deadline eventsim.Time) *TAGResult {
+	n := net.N()
+	res := &TAGResult{
+		Parent:  make([]topology.NodeID, n),
+		Hop:     make([]uint16, n),
+		Reached: make([]bool, n),
+	}
+	for i := range res.Parent {
+		res.Parent[i] = topology.None
+	}
+	res.Reached[0] = true
+	startBytes := medium.TotalBytes()
+	startFrames := medium.Stats().FramesSent
+
+	sendHello := func(src topology.NodeID, hop uint16) {
+		m.Send(src, &packet.Packet{
+			Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
+			Hop:    hop,
+		})
+	}
+	for i := 0; i < n; i++ {
+		m.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
+			if p.Kind != packet.KindHello || res.Reached[self] {
+				return
+			}
+			res.Reached[self] = true
+			res.Parent[self] = topology.NodeID(p.Src)
+			res.Hop[self] = p.Hop + 1
+			sendHello(self, res.Hop[self])
+		})
+	}
+	sim.After(0, func() { sendHello(0, 0) })
+	sim.Run(sim.Now() + deadline)
+	res.HelloBytes = medium.TotalBytes() - startBytes
+	res.HelloFrames = medium.Stats().FramesSent - startFrames
+	return res
+}

@@ -1,0 +1,496 @@
+// Package ipda is a simulation-backed implementation of iPDA, the
+// integrity-protecting private data aggregation scheme for wireless sensor
+// networks (He et al., MILCOM 2008), together with the TAG baseline it is
+// evaluated against.
+//
+// A Network is a deployed sensor field with the protocol stack already
+// running: a discrete-event radio simulation (1 Mbps shared medium, CSMA
+// MAC with ARQ), link-level encryption, and the two node-disjoint
+// aggregation trees of iPDA's Phase I. Queries execute Phases II and III —
+// slicing, assembling, and dual-tree aggregation — and return the
+// cross-checked result:
+//
+//	net, err := ipda.Deploy(ipda.DefaultConfig(400))
+//	if err != nil { ... }
+//	res, err := net.Count()
+//	fmt.Println(res.Value, res.Accepted)
+//
+// The attack surface of the paper is first-class: InjectPollution turns an
+// aggregator malicious (the base station then rejects the round), and
+// AttachEavesdropper measures how much a passive adversary with a given
+// per-link compromise probability actually learns.
+package ipda
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ipda-sim/ipda/internal/aggregate"
+	"github.com/ipda-sim/ipda/internal/analysis"
+	"github.com/ipda-sim/ipda/internal/attack"
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/metrics"
+	"github.com/ipda-sim/ipda/internal/mtree"
+	"github.com/ipda-sim/ipda/internal/privacy"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/tag"
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/trace"
+	"github.com/ipda-sim/ipda/internal/tree"
+)
+
+// Config describes a deployment and its protocol parameters.
+type Config struct {
+	// Nodes is the number of sensor nodes (the base station is extra).
+	Nodes int
+	// FieldSide is the square deployment area's side in meters.
+	FieldSide float64
+	// Range is the radio range in meters.
+	Range float64
+	// Slices is l, the slices per tree (the paper recommends 2).
+	Slices int
+	// Threshold is Th, the integrity acceptance threshold.
+	Threshold int64
+	// AdaptiveRoles selects the adaptive role rule of Equation (1); when
+	// false, pr = pb = 0.5 (Equation 2).
+	AdaptiveRoles bool
+	// K is the aggregator budget of the adaptive rule (paper: 4).
+	K int
+	// ShareSpread bounds slice magnitudes (see the slicing package); 0
+	// selects full-ring shares.
+	ShareSpread int64
+	// ExtraBaseStations promotes the listed sensor IDs to additional
+	// collection points (Section II-A's multi-base-station extension):
+	// they root both trees alongside node 0 and their collections fuse
+	// into the final totals. Promoted nodes hold no readings.
+	ExtraBaseStations []int
+	// Seed drives every random choice; equal configs reproduce runs
+	// exactly.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's evaluation setup for the given number
+// of nodes: a 400 m x 400 m field, 50 m range, l = 2, Th = 5, adaptive
+// trees with k = 4.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		FieldSide:     400,
+		Range:         50,
+		Slices:        2,
+		Threshold:     5,
+		AdaptiveRoles: true,
+		K:             4,
+		ShareSpread:   4,
+		Seed:          1,
+	}
+}
+
+func (c Config) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Slices = c.Slices
+	cfg.Threshold = c.Threshold
+	cfg.Tree.Adaptive = c.AdaptiveRoles
+	if c.K > 0 {
+		cfg.Tree.K = c.K
+	}
+	cfg.ShareSpread = c.ShareSpread
+	for _, r := range c.ExtraBaseStations {
+		cfg.ExtraRoots = append(cfg.ExtraRoots, topology.NodeID(r))
+	}
+	return cfg
+}
+
+// Kind selects an aggregation function.
+type Kind = aggregate.Kind
+
+// The aggregation functions of Section II-B.
+const (
+	Sum      = aggregate.Sum
+	Count    = aggregate.Count
+	Average  = aggregate.Average
+	Variance = aggregate.Variance
+	Min      = aggregate.Min
+	Max      = aggregate.Max
+)
+
+// Network is a deployed iPDA network ready to answer queries. It is not
+// safe for concurrent use; deploy independent networks per goroutine.
+type Network struct {
+	cfg  Config
+	topo *topology.Network
+	inst *core.Instance
+	eav  *attack.Eavesdropper
+}
+
+// Deploy places the nodes, builds the radio stack, and runs Phase I.
+func Deploy(cfg Config) (*Network, error) {
+	topoCfg := topology.Config{Nodes: cfg.Nodes, FieldSide: cfg.FieldSide, Range: cfg.Range}
+	topo, err := topology.Random(topoCfg, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	inst, err := core.New(topo, cfg.coreConfig(), cfg.Seed^0xa5a5a5a5)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return &Network{cfg: cfg, topo: topo, inst: inst}, nil
+}
+
+// Size returns the number of nodes including the base station.
+func (n *Network) Size() int { return n.topo.N() }
+
+// AvgDegree returns the network's mean node degree.
+func (n *Network) AvgDegree() float64 { return n.topo.AvgDegree() }
+
+// Participants returns the number of sensors that take part in queries.
+func (n *Network) Participants() int { return len(n.inst.Participants()) }
+
+// Coverage returns the fraction of sensors reached by both trees
+// (Figure 8a).
+func (n *Network) Coverage() float64 {
+	return metrics.CoverageFraction(n.inst.Trees, n.topo.N())
+}
+
+// Participation returns the fraction of sensors able to slice (Figure 8b).
+func (n *Network) Participation() float64 {
+	return metrics.ParticipationFraction(n.inst.Trees, n.cfg.Slices, n.topo.N())
+}
+
+// QueryResult is one answered query.
+type QueryResult struct {
+	// Value is the finalized statistic; meaningful only when Accepted.
+	Value float64
+	// Accepted reports the integrity check |S_b − S_r| ≤ Th.
+	Accepted bool
+	// RedSum and BlueSum are the first-round totals of the two trees.
+	RedSum, BlueSum int64
+	// Participants is the number of sensors that contributed.
+	Participants int
+	// Bytes is the radio traffic the query cost.
+	Bytes uint64
+}
+
+func fromResult(res *core.Result) *QueryResult {
+	out := &QueryResult{
+		Value:    res.Value,
+		Accepted: res.Accepted,
+	}
+	if len(res.Outcomes) > 0 {
+		first := res.Outcomes[0]
+		out.RedSum, out.BlueSum = first.Red, first.Blue
+		out.Participants = first.Participants
+		for _, o := range res.Outcomes {
+			out.Bytes += o.Bytes
+		}
+	}
+	return out
+}
+
+// Query answers an aggregation query over per-node readings. readings
+// must have Size() entries; index 0 (the base station) is ignored.
+func (n *Network) Query(kind Kind, readings []int64) (*QueryResult, error) {
+	res, err := n.inst.Run(aggregate.SpecFor(kind), readings)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return fromResult(res), nil
+}
+
+// Count runs a COUNT query.
+func (n *Network) Count() (*QueryResult, error) {
+	return n.Query(Count, make([]int64, n.topo.N()))
+}
+
+// QueryExtremum runs a tuned MIN or MAX query. The power-mean
+// approximation (Section II-B) estimates the extremum within a factor
+// n^(1/power); higher powers are tighter but narrow the usable reading
+// range: MAX accepts readings in [0, normal], MIN in
+// [normal/2^(52/power), normal]. kind must be Min or Max.
+func (n *Network) QueryExtremum(kind Kind, readings []int64, power int, normal int64) (*QueryResult, error) {
+	if kind != Min && kind != Max {
+		return nil, fmt.Errorf("ipda: QueryExtremum requires Min or Max, got %v", kind)
+	}
+	spec := aggregate.Spec{Kind: kind, Power: power, Normal: normal}
+	res, err := n.inst.Run(spec, readings)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return fromResult(res), nil
+}
+
+// Sum runs a SUM query over readings.
+func (n *Network) Sum(readings []int64) (*QueryResult, error) {
+	return n.Query(Sum, readings)
+}
+
+// Aggregators returns the node IDs holding an aggregator role on either
+// tree (the base station, on both trees, is not listed).
+func (n *Network) Aggregators() []int {
+	return append(n.RedAggregators(), n.BlueAggregators()...)
+}
+
+// RedAggregators returns the nodes aggregating on the red tree.
+func (n *Network) RedAggregators() []int {
+	var out []int
+	for _, id := range n.inst.Trees.Aggregators(tree.RoleRed) {
+		out = append(out, int(id))
+	}
+	return out
+}
+
+// BlueAggregators returns the nodes aggregating on the blue tree.
+func (n *Network) BlueAggregators() []int {
+	var out []int
+	for _, id := range n.inst.Trees.Aggregators(tree.RoleBlue) {
+		out = append(out, int(id))
+	}
+	return out
+}
+
+// InjectPollution makes node id a data-pollution attacker adding delta to
+// every intermediate result it forwards; delta 0 restores it.
+func (n *Network) InjectPollution(id int, delta int64) {
+	n.inst.Pollute(topology.NodeID(id), delta)
+}
+
+// Eavesdropper reports what a passive adversary learned from observed
+// rounds.
+type Eavesdropper struct {
+	net *Network
+	eav *attack.Eavesdropper
+}
+
+// AttachEavesdropper installs a global passive adversary compromising
+// each link with probability px. Attach before running queries.
+func (n *Network) AttachEavesdropper(px float64) *Eavesdropper {
+	e := attack.NewEavesdropper(px, rng.New(n.cfg.Seed^0x5eed))
+	e.Attach(n.inst)
+	n.eav = e
+	return &Eavesdropper{net: n, eav: e}
+}
+
+// DisclosureRate returns the fraction of participants whose readings the
+// adversary recovered in the rounds observed so far.
+func (e *Eavesdropper) DisclosureRate() float64 {
+	return e.eav.DiscloseRate(e.net.inst.Participants())
+}
+
+// TAGNetwork is the unprotected TAG baseline over the same kind of
+// deployment, for side-by-side comparisons.
+type TAGNetwork struct {
+	topo *topology.Network
+	inst *tag.Instance
+}
+
+// DeployTAG deploys a TAG network with cfg's topology parameters (the
+// privacy/integrity fields are ignored — TAG has neither).
+func DeployTAG(cfg Config) (*TAGNetwork, error) {
+	topoCfg := topology.Config{Nodes: cfg.Nodes, FieldSide: cfg.FieldSide, Range: cfg.Range}
+	topo, err := topology.Random(topoCfg, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	inst, err := tag.New(topo, tag.DefaultConfig(), cfg.Seed^0x7a6)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return &TAGNetwork{topo: topo, inst: inst}, nil
+}
+
+// Size returns the number of nodes including the base station.
+func (n *TAGNetwork) Size() int { return n.topo.N() }
+
+// Query answers an aggregation query over the TAG tree.
+func (n *TAGNetwork) Query(kind Kind, readings []int64) (*QueryResult, error) {
+	res, err := n.inst.Run(aggregate.SpecFor(kind), readings)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	out := &QueryResult{Value: res.Value, Accepted: true}
+	if len(res.Outcomes) > 0 {
+		out.RedSum = res.Outcomes[0].Sum
+		out.BlueSum = res.Outcomes[0].Sum
+		out.Participants = res.Outcomes[0].Participants
+		for _, o := range res.Outcomes {
+			out.Bytes += o.Bytes
+		}
+	}
+	return out, nil
+}
+
+// Count runs a COUNT query.
+func (n *TAGNetwork) Count() (*QueryResult, error) {
+	return n.Query(Count, make([]int64, n.topo.N()))
+}
+
+// LocalizePolluter runs the Section III-D countermeasure against a
+// persistent DoS polluter: group-testing probe rounds over the deployment
+// described by cfg until the attacker is isolated. It returns the suspect
+// node and the number of probe rounds used (O(log Nodes)).
+func LocalizePolluter(cfg Config, attacker int, delta int64) (suspect, rounds int, err error) {
+	topoCfg := topology.Config{Nodes: cfg.Nodes, FieldSide: cfg.FieldSide, Range: cfg.Range}
+	topo, err := topology.Random(topoCfg, rng.New(cfg.Seed))
+	if err != nil {
+		return 0, 0, fmt.Errorf("ipda: %w", err)
+	}
+	factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
+		c := cfg.coreConfig()
+		c.Tree.Adaptive = false // probes want every covered node aggregating
+		c.Disabled = disabled
+		return core.New(topo, c, seed)
+	}
+	res, err := attack.LocalizePolluter(topo.N(), factory, topology.NodeID(attacker), delta, cfg.Seed^0xd05)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ipda: %w", err)
+	}
+	return int(res.Suspect), res.Rounds, nil
+}
+
+// GameResult reports one indistinguishability experiment (see the privacy
+// package): the adversary's empirical advantage in telling two candidate
+// readings apart from its view of the slicing phase.
+type GameResult struct {
+	Advantage           float64
+	FullReconstructions int
+	Trials              int
+}
+
+// RunIndistinguishabilityGame plays the two-world privacy game: a target
+// node slices one of two candidate readings v0/v1 into l shares per tree
+// (bounded by spread, or full-ring when spread is 0); an adversary
+// compromising each link with probability px guesses which. The returned
+// advantage is 2·Pr[correct] − 1.
+func RunIndistinguishabilityGame(l int, spread int64, px float64, v0, v1 int64, trials int, seed uint64) (GameResult, error) {
+	res, err := privacy.RunGame(privacy.Config{
+		L: l, Spread: spread, Px: px, V0: v0, V1: v1, Trials: trials,
+	}, rng.New(seed))
+	if err != nil {
+		return GameResult{}, fmt.Errorf("ipda: %w", err)
+	}
+	return GameResult{
+		Advantage:           res.Advantage,
+		FullReconstructions: res.FullReconstructions,
+		Trials:              res.Trials,
+	}, nil
+}
+
+// TheoreticalLeafAdvantage returns the analytic optimum of the game under
+// full-ring shares: 1 − (1 − px^l)².
+func TheoreticalLeafAdvantage(px float64, l int) float64 {
+	return privacy.TheoreticalLeafAdvantage(px, l)
+}
+
+// Trace is a recorded protocol timeline (see EnableTrace).
+type Trace struct {
+	log *trace.Log
+}
+
+// EnableTrace starts recording every audible frame as a timeline event,
+// keeping at most limit events. Enable before running queries; write the
+// result with WriteJSON.
+func (n *Network) EnableTrace(limit int) *Trace {
+	l := trace.New(limit)
+	trace.AttachRadio(l, n.inst.Sim, n.inst.Medium)
+	return &Trace{log: l}
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.log.Events()) }
+
+// Dropped returns how many events overflowed the buffer.
+func (t *Trace) Dropped() int { return t.log.Dropped() }
+
+// WriteJSON emits the timeline as JSON lines.
+func (t *Trace) WriteJSON(w io.Writer) error { return t.log.WriteJSON(w) }
+
+// MultiTreeNetwork is the m > 2 generalization of iPDA (the extension
+// Section III-B sketches): m node-disjoint aggregation trees with
+// majority-vote verification at the base station. With m ≥ 2f+1 trees the
+// base station survives f colluding same-delta polluters — the scenario
+// the paper's Section VI leaves as future work.
+type MultiTreeNetwork struct {
+	topo *topology.Network
+	inst *mtree.Instance
+}
+
+// DeployMultiTree deploys m disjoint trees over cfg's topology. The
+// denser the network, the larger the m it can support.
+func DeployMultiTree(cfg Config, m int) (*MultiTreeNetwork, error) {
+	topoCfg := topology.Config{Nodes: cfg.Nodes, FieldSide: cfg.FieldSide, Range: cfg.Range}
+	topo, err := topology.Random(topoCfg, rng.New(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	mcfg := mtree.DefaultConfig(m)
+	mcfg.Slices = cfg.Slices
+	mcfg.Threshold = cfg.Threshold
+	mcfg.ShareSpread = cfg.ShareSpread
+	if cfg.K > mcfg.K {
+		mcfg.K = cfg.K
+	}
+	if m > mcfg.K {
+		mcfg.K = m
+	}
+	inst, err := mtree.New(topo, mcfg, cfg.Seed^0x3b9)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return &MultiTreeNetwork{topo: topo, inst: inst}, nil
+}
+
+// Size returns the number of nodes including the base station.
+func (n *MultiTreeNetwork) Size() int { return n.topo.N() }
+
+// Coverage returns the fraction of sensors reached by all m trees.
+func (n *MultiTreeNetwork) Coverage() float64 { return n.inst.CoverageFraction() }
+
+// TreeOf returns the tree index node id aggregates on, or -1 for leaves.
+func (n *MultiTreeNetwork) TreeOf(id int) int { return n.inst.TreeOf[id] }
+
+// InjectPollution makes node id a pollution attacker; delta 0 removes it.
+func (n *MultiTreeNetwork) InjectPollution(id int, delta int64) {
+	n.inst.Pollute(topology.NodeID(id), delta)
+}
+
+// MultiTreeResult is one majority-verified query.
+type MultiTreeResult struct {
+	// Totals holds each tree's independent total.
+	Totals []int64
+	// Accepted reports whether a strict majority of trees agreed.
+	Accepted bool
+	// Value is the majority total.
+	Value int64
+	// Outliers lists the dissenting tree indices (polluted or lossy).
+	Outliers []int
+}
+
+// Count runs a majority-verified COUNT over all trees.
+func (n *MultiTreeNetwork) Count() (*MultiTreeResult, error) {
+	v, err := n.inst.RunCount()
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return &MultiTreeResult{Totals: v.Totals, Accepted: v.Accepted, Value: v.Value, Outliers: v.Outliers}, nil
+}
+
+// Sum runs a majority-verified SUM over all trees.
+func (n *MultiTreeNetwork) Sum(readings []int64) (*MultiTreeResult, error) {
+	v, err := n.inst.RunSum(readings)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	return &MultiTreeResult{Totals: v.Totals, Accepted: v.Accepted, Value: v.Value, Outliers: v.Outliers}, nil
+}
+
+// TheoreticalDisclosure returns Equation (11) for a d-regular network:
+// the probability an eavesdropper with per-link compromise probability px
+// recovers a reading sliced l ways.
+func TheoreticalDisclosure(px float64, l int) float64 {
+	return analysis.PDiscloseRegular(px, l)
+}
+
+// OverheadRatio returns the analytic iPDA/TAG message ratio (2l+1)/2.
+func OverheadRatio(l int) float64 {
+	return analysis.OverheadRatio(l)
+}

@@ -9,7 +9,10 @@ package ipda
 import (
 	"testing"
 
+	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/experiments"
+	"github.com/ipda-sim/ipda/internal/harness"
+	"github.com/ipda-sim/ipda/internal/topology"
 )
 
 // benchOptions keeps each iteration meaningful but bounded.
@@ -87,6 +90,52 @@ func BenchmarkKeys(b *testing.B) { benchExperiment(b, "keys") }
 
 // BenchmarkLAblation regenerates the slice-count ablation.
 func BenchmarkLAblation(b *testing.B) { benchExperiment(b, "lablation") }
+
+// Sweep-shape benchmarks: the same Figure-6-style workload (5 sizes × 2
+// trials, each trial one deployment plus one COUNT round) scheduled two
+// ways. Flattened is the harness's global (point × trial) queue; PerPoint
+// replays the pre-harness shape — one pool per point, workers capped at
+// the point's trial count — which idles all but 2 workers per point.
+
+var sweepBenchSizes = []int{200, 300, 400, 500, 600}
+
+func sweepBenchTrial(t *harness.T, nodes int) error {
+	net, err := topology.Random(topology.PaperConfig(nodes), t.Rng.Split(1))
+	if err != nil {
+		return err
+	}
+	in, err := core.New(net, core.DefaultConfig(), t.Rng.Split(2).Uint64())
+	if err != nil {
+		return err
+	}
+	_, err = in.RunCount()
+	return err
+}
+
+func BenchmarkSweepFlattened(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := harness.Sweep{ID: "sweepbench", Seed: uint64(i) + 1, Points: len(sweepBenchSizes), Trials: 2}
+		if err := s.Run(func(t *harness.T) error {
+			return sweepBenchTrial(t, sweepBenchSizes[t.Point])
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepPerPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for p, nodes := range sweepBenchSizes {
+			nodes := nodes
+			s := harness.Sweep{ID: "sweepbench", Seed: uint64(i)*uint64(len(sweepBenchSizes)) + uint64(p) + 1, Points: 1, Trials: 2}
+			if err := s.Run(func(t *harness.T) error {
+				return sweepBenchTrial(t, nodes)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 // Protocol micro-benchmarks: the cost of deployment and of one query
 // round at the paper's N=400 operating point.

@@ -8,6 +8,7 @@
 //	ipda-bench -exp fig6              # one experiment
 //	ipda-bench -exp all               # everything (minutes)
 //	ipda-bench -exp fig7 -trials 20   # more trials per point
+//	ipda-bench -exp all -progress     # live trials-completed counter
 //	ipda-bench -list                  # show experiment IDs
 package main
 
@@ -24,13 +25,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID or 'all'")
-		trials  = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
-		seed    = flag.Uint64("seed", 2024, "root random seed")
-		sizes   = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		format  = flag.String("format", "text", "output format: text | csv")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "all", "experiment ID or 'all'")
+		trials   = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		seed     = flag.Uint64("seed", 2024, "root random seed")
+		sizes    = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		format   = flag.String("format", "text", "output format: text | csv")
+		progress = flag.Bool("progress", false, "report trials completed per sweep on stderr")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -59,7 +61,17 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
-		table, err := experiments.Run(name, opts)
+		o := opts
+		if *progress {
+			name := name
+			o.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d trials", name, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		table, err := experiments.Run(name, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ipda-bench: %s: %v\n", name, err)
 			os.Exit(1)

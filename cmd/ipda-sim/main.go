@@ -75,7 +75,7 @@ func main() {
 		fail(fmt.Errorf("unknown query %q", *query))
 	}
 	readings := make([]int64, net.Size())
-	r := rng.New(*seed + 7)
+	r := rng.New(*seed).SplitString("ipda-sim/readings")
 	for i := 1; i < len(readings); i++ {
 		readings[i] = *lo + r.Int64n(*hi-*lo+1)
 	}

@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 	"github.com/ipda-sim/ipda/internal/tree"
 )
 
@@ -22,49 +21,41 @@ func KAblation(o Options) (*Table, error) {
 		},
 		Notes: []string{"N=400 deployments; paper recommends k=4"},
 	}
-	trials := o.trials(10)
-	for ki, k := range []int{2, 4, 6, 8, 12} {
-		type out struct {
-			aggFrac, covered, part, bytes float64
-			ok                            bool
+	ks := []int{2, 4, 6, 8, 12}
+	s := o.sweep("kablation", len(ks), 10)
+	aggFrac := harness.NewAcc(s)
+	covered := harness.NewAcc(s)
+	part := harness.NewAcc(s)
+	bytes := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(400, tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]out, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(ki)*809, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(400, r.Split(1))
-			if err != nil {
-				return
-			}
-			cfg := core.DefaultConfig()
-			cfg.Tree.K = k
-			in, err := core.New(net, cfg, r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			res, err := in.RunCount()
-			if err != nil {
-				return
-			}
-			aggs := len(in.Trees.Aggregators(tree.RoleRed)) + len(in.Trees.Aggregators(tree.RoleBlue))
-			outs[trial] = out{
-				aggFrac: float64(aggs) / float64(net.N()-1),
-				covered: metrics.CoverageFraction(in.Trees, net.N()),
-				part:    metrics.ParticipationFraction(in.Trees, 2, net.N()),
-				bytes:   float64(res.Outcomes[0].Bytes),
-				ok:      true,
-			}
-		})
-		var aggFrac, covered, part, bytes stats.Sample
-		for _, out := range outs {
-			if !out.ok {
-				continue
-			}
-			aggFrac.Add(out.aggFrac)
-			covered.Add(out.covered)
-			part.Add(out.part)
-			bytes.Add(out.bytes)
+		cfg := core.DefaultConfig()
+		cfg.Tree.K = ks[tr.Point]
+		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
 		}
+		res, err := in.RunCount()
+		if err != nil {
+			return err
+		}
+		aggs := len(in.Trees.Aggregators(tree.RoleRed)) + len(in.Trees.Aggregators(tree.RoleBlue))
+		aggFrac.Add(tr, float64(aggs)/float64(net.N()-1))
+		covered.Add(tr, metrics.CoverageFraction(in.Trees, net.N()))
+		part.Add(tr, metrics.ParticipationFraction(in.Trees, 2, net.N()))
+		bytes.Add(tr, float64(res.Outcomes[0].Bytes))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, k := range ks {
 		t.AddRow(
-			d(int64(k)), f(aggFrac.Mean()), f(covered.Mean()), f(part.Mean()), f(bytes.Mean()),
+			d(int64(k)), f(aggFrac.Point(pi).Mean()), f(covered.Point(pi).Mean()),
+			f(part.Point(pi).Mean()), f(bytes.Point(pi).Mean()),
 		)
 	}
 	return t, nil
@@ -72,7 +63,8 @@ func KAblation(o Options) (*Table, error) {
 
 // AdaptiveAblation compares the paper's adaptive role rule (Equation 1)
 // against the fixed rule (Equation 2): the adaptive rule should cut
-// aggregator count and traffic at equal coverage in dense networks.
+// aggregator count and traffic at equal coverage in dense networks. The
+// sweep axis is the flattened (size × policy) grid.
 func AdaptiveAblation(o Options) (*Table, error) {
 	t := &Table{
 		ID:    "adaptive",
@@ -81,54 +73,45 @@ func AdaptiveAblation(o Options) (*Table, error) {
 			"nodes", "policy", "aggregator frac", "covered both", "round bytes",
 		},
 	}
-	trials := o.trials(10)
-	for si, n := range o.sizes() {
-		for pi, adaptive := range []bool{true, false} {
-			type out struct {
-				aggFrac, covered, bytes float64
-				ok                      bool
-			}
-			outs := make([]out, trials)
-			forEachTrial(Options{Seed: o.Seed + uint64(si)*907 + uint64(pi), Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-				net, err := deployment(n, r.Split(1))
-				if err != nil {
-					return
-				}
-				cfg := core.DefaultConfig()
-				cfg.Tree.Adaptive = adaptive
-				in, err := core.New(net, cfg, r.Split(2).Uint64())
-				if err != nil {
-					return
-				}
-				res, err := in.RunCount()
-				if err != nil {
-					return
-				}
-				aggs := len(in.Trees.Aggregators(tree.RoleRed)) + len(in.Trees.Aggregators(tree.RoleBlue))
-				outs[trial] = out{
-					aggFrac: float64(aggs) / float64(net.N()-1),
-					covered: metrics.CoverageFraction(in.Trees, net.N()),
-					bytes:   float64(res.Outcomes[0].Bytes),
-					ok:      true,
-				}
-			})
-			var aggFrac, covered, bytes stats.Sample
-			for _, out := range outs {
-				if !out.ok {
-					continue
-				}
-				aggFrac.Add(out.aggFrac)
-				covered.Add(out.covered)
-				bytes.Add(out.bytes)
-			}
-			policy := "adaptive"
-			if !adaptive {
-				policy = "fixed"
-			}
-			t.AddRow(
-				d(int64(n)), policy, f(aggFrac.Mean()), f(covered.Mean()), f(bytes.Mean()),
-			)
+	sizes := o.sizes()
+	policies := []bool{true, false}
+	s := o.sweep("adaptive", len(sizes)*len(policies), 10)
+	aggFrac := harness.NewAcc(s)
+	covered := harness.NewAcc(s)
+	bytes := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point/len(policies)], tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
+		cfg := core.DefaultConfig()
+		cfg.Tree.Adaptive = policies[tr.Point%len(policies)]
+		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
+		}
+		res, err := in.RunCount()
+		if err != nil {
+			return err
+		}
+		aggs := len(in.Trees.Aggregators(tree.RoleRed)) + len(in.Trees.Aggregators(tree.RoleBlue))
+		aggFrac.Add(tr, float64(aggs)/float64(net.N()-1))
+		covered.Add(tr, metrics.CoverageFraction(in.Trees, net.N()))
+		bytes.Add(tr, float64(res.Outcomes[0].Bytes))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi := 0; pi < len(sizes)*len(policies); pi++ {
+		policy := "adaptive"
+		if !policies[pi%len(policies)] {
+			policy = "fixed"
+		}
+		t.AddRow(
+			d(int64(sizes[pi/len(policies)])), policy,
+			f(aggFrac.Point(pi).Mean()), f(covered.Point(pi).Mean()), f(bytes.Point(pi).Mean()),
+		)
 	}
 	return t, nil
 }

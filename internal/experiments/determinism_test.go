@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEveryExperimentDeterministicAcrossWorkers is the cross-cutting
+// guarantee the harness migration buys: for every registered experiment,
+// equal Options produce byte-identical tables whether trials run on one
+// worker or race across eight. Sizes and trials are kept small; the point
+// is scheduling-independence, not statistical power.
+func TestEveryExperimentDeterministicAcrossWorkers(t *testing.T) {
+	render := func(name string, workers int) string {
+		o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 99, Workers: workers}
+		if name == "indist" {
+			o.Trials = 2000
+		}
+		tb, err := Run(name, o)
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", name, workers, err)
+		}
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		if err := tb.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s workers=%d: %v", name, workers, err)
+		}
+		return buf.String()
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seq := render(name, 1)
+			par := render(name, 8)
+			if seq != par {
+				t.Errorf("table differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", seq, par)
+			}
+		})
+	}
+}

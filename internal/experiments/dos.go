@@ -3,8 +3,7 @@ package experiments
 import (
 	"github.com/ipda-sim/ipda/internal/attack"
 	"github.com/ipda-sim/ipda/internal/core"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -21,61 +20,52 @@ func DoS(o Options) (*Table, error) {
 			"probe rounds rebuild non-adaptive trees so every covered node aggregates",
 		},
 	}
-	trials := o.trials(5)
-	for si, n := range o.sizes() {
-		rounds := make([]float64, trials)
-		correct := make([]bool, trials)
-		valid := make([]bool, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*701, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(n, r.Split(1))
-			if err != nil {
-				return
-			}
-			factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
-				cfg := core.DefaultConfig()
-				cfg.Tree.Adaptive = false
-				cfg.Disabled = disabled
-				return core.New(net, cfg, seed)
-			}
-			// A well-connected attacker, as a compromised aggregator near
-			// traffic would be.
-			var attacker topology.NodeID
-			for i := 1; i < net.N(); i++ {
-				if net.Degree(topology.NodeID(i)) >= 8 {
-					attacker = topology.NodeID(i)
-					break
-				}
-			}
-			if attacker == 0 {
-				return
-			}
-			res, err := attack.LocalizePolluter(net.N(), factory, attacker, 5000, r.Uint64())
-			if err != nil {
-				return
-			}
-			valid[trial] = true
-			rounds[trial] = float64(res.Rounds)
-			correct[trial] = res.Suspect == attacker
-		})
-		var rs stats.Sample
-		hits, total := 0, 0
-		for i := range valid {
-			if !valid[i] {
-				continue
-			}
-			total++
-			rs.Add(rounds[i])
-			if correct[i] {
-				hits++
+	sizes := o.sizes()
+	s := o.sweep("dos", len(sizes), 5)
+	rounds := harness.NewAcc(s)
+	correct := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		if err != nil {
+			return err
+		}
+		factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
+			cfg := core.DefaultConfig()
+			cfg.Tree.Adaptive = false
+			cfg.Disabled = disabled
+			return core.New(net, cfg, seed)
+		}
+		// A well-connected attacker, as a compromised aggregator near
+		// traffic would be.
+		var attacker topology.NodeID
+		for i := 1; i < net.N(); i++ {
+			if net.Degree(topology.NodeID(i)) >= 8 {
+				attacker = topology.NodeID(i)
+				break
 			}
 		}
+		if attacker == 0 {
+			return nil // no node dense enough to attack: skip the trial
+		}
+		res, err := attack.LocalizePolluter(net.N(), factory, attacker, 5000, tr.Rng.Uint64())
+		if err != nil {
+			return err
+		}
+		rounds.Add(tr, float64(res.Rounds))
+		correct.AddBool(tr, res.Suspect == attacker)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
 		log2 := 0
 		for v := n; v > 1; v >>= 1 {
 			log2++
 		}
 		t.AddRow(
-			d(int64(n)), f(rs.Mean()), d(int64(log2)),
-			f(float64(hits)/float64(max(total, 1))),
+			d(int64(n)), f(rounds.Point(pi).Mean()), d(int64(log2)),
+			f(correct.Point(pi).Mean()),
 		)
 	}
 	return t, nil

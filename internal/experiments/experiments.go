@@ -1,22 +1,24 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section IV), plus the ablations DESIGN.md calls out.
 //
-// Each experiment function builds the workload, sweeps the paper's
-// parameter axis, fans independent trials out across workers, and returns
-// a Table whose rows mirror what the paper plots: the x axis in the first
-// column and one column per curve. cmd/ipda-bench prints them;
-// EXPERIMENTS.md records a reference run against the paper's reported
-// shapes.
+// Each experiment function declares its sweep — the paper's parameter
+// axis and a per-trial function — on the internal/harness engine, which
+// flattens (point × trial) onto one worker pool and derives every trial's
+// random stream along the seed path root → experiment ID → point → trial.
+// The result is a Table whose rows mirror what the paper plots: the x
+// axis in the first column and one column per curve. cmd/ipda-bench
+// prints them; EXPERIMENTS.md records a reference run against the paper's
+// reported shapes. Equal Options give byte-identical tables regardless of
+// Workers.
 package experiments
 
 import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
-	"sync"
 
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
@@ -33,6 +35,9 @@ type Options struct {
 	Seed uint64
 	// Workers bounds trial parallelism; 0 selects GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, receives (trialsDone, trialsTotal) after
+	// each completed trial of each sweep the experiment runs.
+	Progress func(done, total int)
 }
 
 func (o Options) sizes() []int {
@@ -49,11 +54,26 @@ func (o Options) trials(def int) int {
 	return o.Trials
 }
 
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+// sweep builds the harness sweep for an experiment: id roots the seed
+// path, points is the axis length, and def is the experiment's default
+// trial count (overridden by Options.Trials).
+func (o Options) sweep(id string, points, def int) harness.Sweep {
+	return harness.Sweep{
+		ID:       id,
+		Seed:     o.Seed,
+		Points:   points,
+		Trials:   o.trials(def),
+		Workers:  o.Workers,
+		Progress: o.Progress,
 	}
-	return runtime.GOMAXPROCS(0)
+}
+
+// fixedSweep is sweep with a trial count the user cannot override, for
+// experiments whose per-point work is not a Monte-Carlo repetition.
+func (o Options) fixedSweep(id string, points, trials int) harness.Sweep {
+	s := o.sweep(id, points, trials)
+	s.Trials = trials
+	return s
 }
 
 // Table is one experiment's output: the rows the paper's table or figure
@@ -66,9 +86,14 @@ type Table struct {
 	Notes   []string
 }
 
-// AddRow appends a formatted row. Values beyond len(Columns) are dropped;
-// missing cells print empty.
+// AddRow appends a formatted row. Missing cells print empty; passing more
+// cells than Columns is a programmer error (the extra cells would be
+// silently invisible in every output format) and panics.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("experiments: AddRow got %d cells for %d columns in table %q",
+			len(cells), len(t.Columns), t.ID))
+	}
 	t.Rows = append(t.Rows, cells)
 }
 
@@ -123,46 +148,6 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
-}
-
-// forEachTrial runs fn for trials independent trials across the worker
-// pool, giving each a private derived random stream. Panics inside fn
-// propagate. Results must be written into trial-indexed storage by fn.
-func forEachTrial(o Options, trials int, fn func(trial int, r *rng.Stream)) {
-	root := rng.New(o.Seed)
-	workers := o.workers()
-	if workers > trials {
-		workers = trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	panics := make(chan any, trials)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for trial := range next {
-				func() {
-					defer func() {
-						if p := recover(); p != nil {
-							panics <- p
-						}
-					}()
-					fn(trial, root.Split(uint64(trial)+1))
-				}()
-			}
-		}()
-	}
-	for trial := 0; trial < trials; trial++ {
-		next <- trial
-	}
-	close(next)
-	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
-	}
 }
 
 // deployment builds the paper's uniform random deployment for one trial.

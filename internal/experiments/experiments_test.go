@@ -246,6 +246,12 @@ func TestLifetimeShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := range tb.Rows {
+		if cell(t, tb, r, 0) < 350 {
+			// Below ~300 nodes iPDA participation collapses (Sec. IV-B),
+			// so few sensors transmit and the bottleneck drain comparison
+			// is noise — same sparse region TestFig7Shape skips.
+			continue
+		}
 		tagLife := cell(t, tb, r, 3)
 		ipdaLife := cell(t, tb, r, 4)
 		ratio := cell(t, tb, r, 5)
@@ -258,6 +264,18 @@ func TestLifetimeShape(t *testing.T) {
 			t.Fatalf("row %d: lifetime ratio %v outside plausible band", r, ratio)
 		}
 	}
+}
+
+func TestAddRowRejectsExtraCells(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	tb.AddRow("1", "2") // exact width ok
+	tb.AddRow("1")      // short row ok (pads on output)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow accepted more cells than columns")
+		}
+	}()
+	tb.AddRow("1", "2", "dropped-before-this-fix")
 }
 
 func TestTableWriteCSV(t *testing.T) {

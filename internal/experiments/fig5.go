@@ -6,8 +6,8 @@ import (
 	"github.com/ipda-sim/ipda/internal/analysis"
 	"github.com/ipda-sim/ipda/internal/attack"
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -39,7 +39,7 @@ func Fig5(o Options) (*Table, error) {
 		},
 	}
 	pxs := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10}
-	root := rng.New(o.Seed)
+	root := rng.New(o.Seed).SplitString("fig5/deployments")
 	sparse, err := fig5Network(7, root.Split(1))
 	if err != nil {
 		return nil, err
@@ -52,39 +52,37 @@ func Fig5(o Options) (*Table, error) {
 	// Empirical disclosure rates: average several protocol replays per px
 	// on moderately sized networks (the slicing structure, not the exact
 	// size, determines the rate).
-	trials := o.trials(6)
-	empirical := make(map[float64]float64, len(pxs))
-	for i, px := range pxs {
-		rates := make([]float64, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(i)*31, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, e := topology.Random(topology.Config{Nodes: 400, FieldSide: 340, Range: 50}, r.Split(1))
-			if e != nil {
-				return
-			}
-			in, e := core.New(net, core.DefaultConfig(), r.Uint64())
-			if e != nil {
-				return
-			}
-			eav := attack.NewEavesdropper(px, r.Split(2))
-			eav.Attach(in)
-			if _, e := in.RunCount(); e != nil {
-				return
-			}
-			rates[trial] = eav.DiscloseRate(in.Participants())
-		})
-		var s stats.Sample
-		s.AddAll(rates)
-		empirical[px] = s.Mean()
+	s := o.sweep("fig5", len(pxs), 6)
+	empirical := harness.NewAcc(s)
+	err = s.Run(func(tr *harness.T) error {
+		net, err := topology.Random(topology.Config{Nodes: 400, FieldSide: 340, Range: 50}, tr.Rng.Split(1))
+		if err != nil {
+			return err
+		}
+		in, err := core.New(net, core.DefaultConfig(), tr.Rng.Uint64())
+		if err != nil {
+			return err
+		}
+		eav := attack.NewEavesdropper(pxs[tr.Point], tr.Rng.Split(2))
+		eav.Attach(in)
+		if _, err := in.RunCount(); err != nil {
+			return err
+		}
+		empirical.Add(tr, eav.DiscloseRate(in.Participants()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for _, px := range pxs {
+	for pi, px := range pxs {
 		t.AddRow(
 			f(px),
 			f(analysis.PDiscloseNetwork(sparse, px, 2)),
 			f(analysis.PDiscloseNetwork(dense, px, 2)),
 			f(analysis.PDiscloseNetwork(sparse, px, 3)),
 			f(analysis.PDiscloseNetwork(dense, px, 3)),
-			f(empirical[px]),
+			f(empirical.Point(pi).Mean()),
 		)
 	}
 	return t, nil

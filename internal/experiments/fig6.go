@@ -3,8 +3,7 @@ package experiments
 import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/eventsim"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/harness"
 )
 
 // Fig6 reproduces Figure 6: the COUNT aggregate reported by the red and
@@ -26,75 +25,69 @@ func Fig6(o Options) (*Table, error) {
 			"diff columns use a congested 0.1 s slicing window (the paper's ns-2 loss regime) at l=2; Th=5 accepts when |Sb-Sr| <= 5",
 		},
 	}
-	trials := o.trials(50)
-	for si, n := range o.sizes() {
-		type trialOut struct {
-			red1, blue1, red2, blue2 float64
-			diff2                    float64
-			ok                       bool
+	sizes := o.sizes()
+	s := o.sweep("fig6", len(sizes), 50)
+	red1 := harness.NewAcc(s)
+	blue1 := harness.NewAcc(s)
+	red2 := harness.NewAcc(s)
+	blue2 := harness.NewAcc(s)
+	diff2 := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]trialOut, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*101, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(n, r.Split(1))
+		run := func(l int, window float64) (red, blue float64, err error) {
+			cfg := core.DefaultConfig()
+			cfg.Slices = l
+			if window > 0 {
+				cfg.SliceWindow = eventsim.Time(window)
+			}
+			in, err := core.New(net, cfg, tr.Rng.Split(uint64(l)*7+uint64(window*100)).Uint64())
 			if err != nil {
-				return
+				return 0, 0, err
 			}
-			run := func(l int, window float64) (red, blue float64, err error) {
-				cfg := core.DefaultConfig()
-				cfg.Slices = l
-				if window > 0 {
-					cfg.SliceWindow = eventsim.Time(window)
-				}
-				in, err := core.New(net, cfg, r.Split(uint64(l)*7+uint64(window*100)).Uint64())
-				if err != nil {
-					return 0, 0, err
-				}
-				res, err := in.RunCount()
-				if err != nil {
-					return 0, 0, err
-				}
-				return float64(res.Outcomes[0].Red), float64(res.Outcomes[0].Blue), nil
-			}
-			r1, b1, err := run(1, 0)
+			res, err := in.RunCount()
 			if err != nil {
-				return
+				return 0, 0, err
 			}
-			r2, b2, err := run(2, 0)
-			if err != nil {
-				return
-			}
-			// Congested replay for the loss-induced tree disagreement.
-			rc, bc, err := run(2, 0.1)
-			if err != nil {
-				return
-			}
-			diff := rc - bc
-			if diff < 0 {
-				diff = -diff
-			}
-			outs[trial] = trialOut{r1, b1, r2, b2, diff, true}
-		})
-		var red1, blue1, red2, blue2, diff2 stats.Sample
-		maxDiff := 0.0
-		for _, out := range outs {
-			if !out.ok {
-				continue
-			}
-			red1.Add(out.red1)
-			blue1.Add(out.blue1)
-			red2.Add(out.red2)
-			blue2.Add(out.blue2)
-			diff2.Add(out.diff2)
-			if out.diff2 > maxDiff {
-				maxDiff = out.diff2
-			}
+			return float64(res.Outcomes[0].Red), float64(res.Outcomes[0].Blue), nil
 		}
+		r1, b1, err := run(1, 0)
+		if err != nil {
+			return err
+		}
+		r2, b2, err := run(2, 0)
+		if err != nil {
+			return err
+		}
+		// Congested replay for the loss-induced tree disagreement.
+		rc, bc, err := run(2, 0.1)
+		if err != nil {
+			return err
+		}
+		diff := rc - bc
+		if diff < 0 {
+			diff = -diff
+		}
+		red1.Add(tr, r1)
+		blue1.Add(tr, b1)
+		red2.Add(tr, r2)
+		blue2.Add(tr, b2)
+		diff2.Add(tr, diff)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
+		diffs := diff2.Point(pi)
 		t.AddRow(
 			d(int64(n)),
-			f(red1.Mean()), f(blue1.Mean()),
-			f(red2.Mean()), f(blue2.Mean()),
+			f(red1.Point(pi).Mean()), f(blue1.Point(pi).Mean()),
+			f(red2.Point(pi).Mean()), f(blue2.Point(pi).Mean()),
 			d(int64(n)),
-			f(diff2.Mean()), f(maxDiff),
+			f(diffs.Mean()), f(diffs.Max()),
 		)
 	}
 	return t, nil

@@ -5,9 +5,8 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/analysis"
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/packet"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 	"github.com/ipda-sim/ipda/internal/tag"
 )
 
@@ -39,63 +38,63 @@ func Fig7(o Options) (*Table, error) {
 		},
 	}
 	ackSize := uint64((&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size())
-	trials := o.trials(10)
-	for si, n := range o.sizes() {
-		tagOut := make([]trafficOut, trials)
-		l1Out := make([]trafficOut, trials)
-		l2Out := make([]trafficOut, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*211, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(n, r.Split(1))
-			if err != nil {
-				return
-			}
-			// TAG.
-			tg, err := tag.New(net, tag.DefaultConfig(), r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			if _, err := tg.RunCount(); err != nil {
-				return
-			}
-			tagOut[trial] = accounting(tg.Medium.TotalBytes(), tg.MAC.Stats().AcksSent, tg.MAC.Stats().Sent, ackSize)
-			// iPDA l=1 and l=2.
-			for _, l := range []int{1, 2} {
-				cfg := core.DefaultConfig()
-				cfg.Slices = l
-				in, err := core.New(net, cfg, r.Split(uint64(10+l)).Uint64())
-				if err != nil {
-					return
-				}
-				if _, err := in.RunCount(); err != nil {
-					return
-				}
-				out := accounting(in.Medium.TotalBytes(), in.MAC.Stats().AcksSent, in.MAC.Stats().Sent, ackSize)
-				if l == 1 {
-					l1Out[trial] = out
-				} else {
-					l2Out[trial] = out
-				}
-			}
-		})
-		mean := func(outs []trafficOut, get func(trafficOut) float64) float64 {
-			var s stats.Sample
-			for _, out := range outs {
-				if out.bytes > 0 {
-					s.Add(get(out))
-				}
-			}
-			return s.Mean()
+	sizes := o.sizes()
+	s := o.sweep("fig7", len(sizes), 10)
+	tagBytes := harness.NewAcc(s)
+	tagFrames := harness.NewAcc(s)
+	l1Bytes := harness.NewAcc(s)
+	l1Frames := harness.NewAcc(s)
+	l2Bytes := harness.NewAcc(s)
+	l2Frames := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
+		// TAG.
+		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
+		}
+		if _, err := tg.RunCount(); err != nil {
+			return err
+		}
+		out := accounting(tg.Medium.TotalBytes(), tg.MAC.Stats().AcksSent, tg.MAC.Stats().Sent, ackSize)
+		tagBytes.Add(tr, out.bytes)
+		tagFrames.Add(tr, out.dataFrames)
+		// iPDA l=1 and l=2.
+		for _, l := range []int{1, 2} {
+			cfg := core.DefaultConfig()
+			cfg.Slices = l
+			in, err := core.New(net, cfg, tr.Rng.Split(uint64(10+l)).Uint64())
+			if err != nil {
+				return err
+			}
+			if _, err := in.RunCount(); err != nil {
+				return err
+			}
+			out := accounting(in.Medium.TotalBytes(), in.MAC.Stats().AcksSent, in.MAC.Stats().Sent, ackSize)
+			if l == 1 {
+				l1Bytes.Add(tr, out.bytes)
+				l1Frames.Add(tr, out.dataFrames)
+			} else {
+				l2Bytes.Add(tr, out.bytes)
+				l2Frames.Add(tr, out.dataFrames)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
 		nodes := float64(n + 1)
-		tb := mean(tagOut, func(o trafficOut) float64 { return o.bytes })
-		b1 := mean(l1Out, func(o trafficOut) float64 { return o.bytes })
-		b2 := mean(l2Out, func(o trafficOut) float64 { return o.bytes })
-		ft := mean(tagOut, func(o trafficOut) float64 { return o.dataFrames }) / nodes
-		f1 := mean(l1Out, func(o trafficOut) float64 { return o.dataFrames }) / nodes
-		f2 := mean(l2Out, func(o trafficOut) float64 { return o.dataFrames }) / nodes
+		ft := tagFrames.Point(pi).Mean() / nodes
+		f1 := l1Frames.Point(pi).Mean() / nodes
+		f2 := l2Frames.Point(pi).Mean() / nodes
 		t.AddRow(
 			d(int64(n)),
-			f(tb), f(b1), f(b2),
+			f(tagBytes.Point(pi).Mean()), f(l1Bytes.Point(pi).Mean()), f(l2Bytes.Point(pi).Mean()),
 			f(ft), f(f1), f(f2),
 			f(f1/ft), f(f2/ft),
 		)

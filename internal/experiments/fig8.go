@@ -2,9 +2,8 @@ package experiments
 
 import (
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 	"github.com/ipda-sim/ipda/internal/tag"
 )
 
@@ -26,71 +25,65 @@ func Fig8(o Options) (*Table, error) {
 			"accuracy = collected COUNT / true node count (Sec. IV-B.3)",
 		},
 	}
-	trials := o.trials(10)
-	for si, n := range o.sizes() {
-		type out struct {
-			covered, part1, part2 float64
-			acc1, acc2, accTag    float64
-			ok                    bool
+	sizes := o.sizes()
+	s := o.sweep("fig8", len(sizes), 10)
+	covered := harness.NewAcc(s)
+	part1 := harness.NewAcc(s)
+	part2 := harness.NewAcc(s)
+	acc1 := harness.NewAcc(s)
+	acc2 := harness.NewAcc(s)
+	accTag := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		n := sizes[tr.Point]
+		net, err := deployment(n, tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]out, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*307, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(n, r.Split(1))
+		truth := float64(n)
+		for _, l := range []int{1, 2} {
+			cfg := core.DefaultConfig()
+			cfg.Slices = l
+			in, err := core.New(net, cfg, tr.Rng.Split(uint64(l)).Uint64())
 			if err != nil {
-				return
+				return err
 			}
-			truth := float64(n)
-			var res out
-			for _, l := range []int{1, 2} {
-				cfg := core.DefaultConfig()
-				cfg.Slices = l
-				in, err := core.New(net, cfg, r.Split(uint64(l)).Uint64())
-				if err != nil {
-					return
-				}
-				q, err := in.RunCount()
-				if err != nil {
-					return
-				}
-				acc := metrics.Accuracy(float64(q.Outcomes[0].Red), truth)
-				if l == 1 {
-					res.covered = metrics.CoverageFraction(in.Trees, net.N())
-					res.part1 = metrics.ParticipationFraction(in.Trees, 1, net.N())
-					res.acc1 = acc
-				} else {
-					res.part2 = metrics.ParticipationFraction(in.Trees, 2, net.N())
-					res.acc2 = acc
-				}
-			}
-			tg, err := tag.New(net, tag.DefaultConfig(), r.Split(7).Uint64())
+			q, err := in.RunCount()
 			if err != nil {
-				return
+				return err
 			}
-			q, err := tg.RunCount()
-			if err != nil {
-				return
+			acc := metrics.Accuracy(float64(q.Outcomes[0].Red), truth)
+			if l == 1 {
+				part1.Add(tr, metrics.ParticipationFraction(in.Trees, 1, net.N()))
+				acc1.Add(tr, acc)
+			} else {
+				// Coverage and l=2 participation come from the same
+				// instance, so participation <= coverage holds exactly
+				// (CanSlice implies CoveredBoth).
+				covered.Add(tr, metrics.CoverageFraction(in.Trees, net.N()))
+				part2.Add(tr, metrics.ParticipationFraction(in.Trees, 2, net.N()))
+				acc2.Add(tr, acc)
 			}
-			res.accTag = metrics.Accuracy(float64(q.Outcomes[0].Sum), truth)
-			res.ok = true
-			outs[trial] = res
-		})
-		var covered, part1, part2, acc1, acc2, accTag stats.Sample
-		for _, out := range outs {
-			if !out.ok {
-				continue
-			}
-			covered.Add(out.covered)
-			part1.Add(out.part1)
-			part2.Add(out.part2)
-			acc1.Add(out.acc1)
-			acc2.Add(out.acc2)
-			accTag.Add(out.accTag)
 		}
+		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(7).Uint64())
+		if err != nil {
+			return err
+		}
+		q, err := tg.RunCount()
+		if err != nil {
+			return err
+		}
+		accTag.Add(tr, metrics.Accuracy(float64(q.Outcomes[0].Sum), truth))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
 		t.AddRow(
 			d(int64(n)),
-			f(covered.Mean()),
-			f(part1.Mean()), f(part2.Mean()),
-			f(acc1.Mean()), f(acc2.Mean()), f(accTag.Mean()),
+			f(covered.Point(pi).Mean()),
+			f(part1.Point(pi).Mean()), f(part2.Point(pi).Mean()),
+			f(acc1.Point(pi).Mean()), f(acc2.Point(pi).Mean()), f(accTag.Point(pi).Mean()),
 		)
 	}
 	return t, nil

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/privacy"
-	"github.com/ipda-sim/ipda/internal/rng"
 )
 
 // Indistinguishability runs the two-world privacy game (the framework the
 // reproduction's nominal title names) across p_x, comparing full-ring and
 // bounded slicing for l ∈ {2, 3}, against the analytic full-ring optimum.
+// Each (p_x, variant) cell is one sweep point whose single trial plays
+// the game cfg.Trials times, so the three variants of a p_x value run
+// concurrently.
 func Indistinguishability(o Options) (*Table, error) {
 	t := &Table{
 		ID:    "indist",
@@ -23,35 +26,47 @@ func Indistinguishability(o Options) (*Table, error) {
 			"bounded = SplitBounded spread 4 with candidates 1 vs 100000: magnitude leaks",
 		},
 	}
+	pxs := []float64{0.05, 0.1, 0.2, 0.3, 0.5}
+	variants := []struct {
+		l      int
+		spread int64
+	}{
+		{l: 2},
+		{l: 3},
+		{l: 2, spread: 4},
+	}
 	trials := o.trials(20000)
-	root := rng.New(o.Seed)
-	for i, px := range []float64{0.05, 0.1, 0.2, 0.3, 0.5} {
-		base := privacy.Config{Px: px, V0: 1, V1: 100000, Trials: trials}
-
-		ring2 := base
-		ring2.L = 2
-		r2, err := privacy.RunGame(ring2, root.Split(uint64(i)*4+1))
-		if err != nil {
-			return nil, err
+	s := o.fixedSweep("indist", len(pxs)*len(variants), 1)
+	advantage := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		v := variants[tr.Point%len(variants)]
+		cfg := privacy.Config{
+			Px:     pxs[tr.Point/len(variants)],
+			V0:     1,
+			V1:     100000,
+			Trials: trials,
+			L:      v.l,
+			Spread: v.spread,
 		}
-		ring3 := base
-		ring3.L = 3
-		r3, err := privacy.RunGame(ring3, root.Split(uint64(i)*4+2))
+		res, err := privacy.RunGame(cfg, tr.Rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bounded2 := base
-		bounded2.L = 2
-		bounded2.Spread = 4
-		b2, err := privacy.RunGame(bounded2, root.Split(uint64(i)*4+3))
-		if err != nil {
-			return nil, err
+		advantage.Add(tr, res.Advantage)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, px := range pxs {
+		at := func(variant int) float64 {
+			return clampAdv(advantage.Point(pi*len(variants) + variant).Mean())
 		}
 		t.AddRow(
 			f(px),
-			f(clampAdv(r2.Advantage)), f(privacy.TheoreticalLeafAdvantage(px, 2)),
-			f(clampAdv(r3.Advantage)), f(privacy.TheoreticalLeafAdvantage(px, 3)),
-			f(clampAdv(b2.Advantage)),
+			f(at(0)), f(privacy.TheoreticalLeafAdvantage(px, 2)),
+			f(at(1)), f(privacy.TheoreticalLeafAdvantage(px, 3)),
+			f(at(2)),
 		)
 	}
 	return t, nil

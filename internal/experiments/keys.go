@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"github.com/ipda-sim/ipda/internal/analysis"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/linksec"
-	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -12,7 +12,8 @@ import (
 // q-composite hardening buys: for each ring size it measures the link
 // connectivity, the induced per-link exposure p_x (fraction of third
 // parties able to decrypt a link), and the resulting P_disclose via
-// Equation (11).
+// Equation (11). Each scheme is one sweep point, so the schemes are
+// measured concurrently.
 func Keys(o Options) (*Table, error) {
 	t := &Table{
 		ID:    "keys",
@@ -26,7 +27,6 @@ func Keys(o Options) (*Table, error) {
 		},
 	}
 	const pool, nodes = 1000, 200
-	root := rng.New(o.Seed)
 	type scheme struct {
 		name string
 		ring int
@@ -41,10 +41,13 @@ func Keys(o Options) (*Table, error) {
 		{"q-composite q=3", 200, 3},
 		{"pairwise", 0, 0},
 	}
-	for si, sc := range schemes {
+	s := o.fixedSweep("keys", len(schemes), 1)
+	connectivity := harness.NewAcc(s)
+	inducedPx := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		sc := schemes[tr.Point]
 		if sc.name == "pairwise" {
-			t.AddRow("pairwise", "-", "1", "0", "0")
-			continue
+			return nil // constant row, no measurement
 		}
 		// Plain EG links use one shared pool key (the smallest common);
 		// q-composite links hash every shared key, so a third party must
@@ -53,42 +56,54 @@ func Keys(o Options) (*Table, error) {
 			linksec.Scheme
 			Holds(c, a, b topology.NodeID) bool
 		}
-		var s keyScheme
+		var ks keyScheme
 		var err error
 		if sc.q == 1 {
-			s, err = linksec.NewRandomPredist(nodes, pool, sc.ring, 7, root.Split(uint64(si)+1))
+			ks, err = linksec.NewRandomPredist(nodes, pool, sc.ring, 7, tr.Rng)
 		} else {
-			s, err = linksec.NewQComposite(nodes, pool, sc.ring, sc.q, 7, root.Split(uint64(si)+1))
+			ks, err = linksec.NewQComposite(nodes, pool, sc.ring, sc.q, 7, tr.Rng)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		connected, pairs := 0, 0
 		holds, obs := 0, 0
 		for a := topology.NodeID(0); a < 60; a++ {
 			for b := a + 1; b < 60; b++ {
 				pairs++
-				if _, ok := s.SharedKey(a, b); !ok {
+				if _, ok := ks.SharedKey(a, b); !ok {
 					continue
 				}
 				connected++
 				for c := topology.NodeID(60); c < nodes; c++ {
 					obs++
-					if s.Holds(c, a, b) {
+					if ks.Holds(c, a, b) {
 						holds++
 					}
 				}
 			}
 		}
-		conn := float64(connected) / float64(pairs)
+		connectivity.Add(tr, float64(connected)/float64(pairs))
 		px := 0.0
 		if obs > 0 {
 			px = float64(holds) / float64(obs)
 		}
+		inducedPx.Add(tr, px)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, sc := range schemes {
+		if sc.name == "pairwise" {
+			t.AddRow("pairwise", "-", "1", "0", "0")
+			continue
+		}
+		px := inducedPx.Point(pi).Mean()
 		t.AddRow(
 			sc.name,
 			d(int64(sc.ring))+"/"+d(pool),
-			f(conn),
+			f(connectivity.Point(pi).Mean()),
 			f(px),
 			f(analysis.PDiscloseRegular(px, 2)),
 		)

@@ -3,9 +3,8 @@ package experiments
 import (
 	"github.com/ipda-sim/ipda/internal/attack"
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 )
 
 // LAblation sweeps the slice count l — the paper's central tuning knob
@@ -24,51 +23,43 @@ func LAblation(o Options) (*Table, error) {
 			"N=400 deployments; the paper recommends l=2",
 		},
 	}
-	trials := o.trials(8)
-	for li, l := range []int{1, 2, 3, 4} {
-		type out struct {
-			disclosed, bytes, part float64
-			ok                     bool
+	ls := []int{1, 2, 3, 4}
+	s := o.sweep("lablation", len(ls), 8)
+	disclosed := harness.NewAcc(s)
+	bytes := harness.NewAcc(s)
+	part := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		l := ls[tr.Point]
+		net, err := deployment(400, tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]out, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(li)*1201, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(400, r.Split(1))
-			if err != nil {
-				return
-			}
-			cfg := core.DefaultConfig()
-			cfg.Slices = l
-			in, err := core.New(net, cfg, r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			eav := attack.NewEavesdropper(0.1, r.Split(3))
-			eav.Attach(in)
-			res, err := in.RunCount()
-			if err != nil {
-				return
-			}
-			outs[trial] = out{
-				disclosed: eav.DiscloseRate(in.Participants()),
-				bytes:     float64(res.Outcomes[0].Bytes),
-				part:      metrics.ParticipationFraction(in.Trees, l, net.N()),
-				ok:        true,
-			}
-		})
-		var disclosed, bytes, part stats.Sample
-		for _, out := range outs {
-			if !out.ok {
-				continue
-			}
-			disclosed.Add(out.disclosed)
-			bytes.Add(out.bytes)
-			part.Add(out.part)
+		cfg := core.DefaultConfig()
+		cfg.Slices = l
+		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
 		}
+		eav := attack.NewEavesdropper(0.1, tr.Rng.Split(3))
+		eav.Attach(in)
+		res, err := in.RunCount()
+		if err != nil {
+			return err
+		}
+		disclosed.Add(tr, eav.DiscloseRate(in.Participants()))
+		bytes.Add(tr, float64(res.Outcomes[0].Bytes))
+		part.Add(tr, metrics.ParticipationFraction(in.Trees, l, net.N()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, l := range ls {
 		t.AddRow(
 			d(int64(l)),
-			f(disclosed.Mean()),
-			f(bytes.Mean()),
-			f(part.Mean()),
+			f(disclosed.Point(pi).Mean()),
+			f(bytes.Point(pi).Mean()),
+			f(part.Point(pi).Mean()),
 			d(int64(2*l+1)),
 		)
 	}

@@ -3,8 +3,7 @@ package experiments
 import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/energy"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/tag"
 )
 
@@ -29,74 +28,67 @@ func Lifetime(o Options) (*Table, error) {
 		},
 	}
 	const measureRounds = 3
-	trials := o.trials(5)
-	for si, n := range o.sizes() {
-		type out struct {
-			tagDrain, ipdaDrain float64 // joules per round at bottleneck
-			ok                  bool
+	sizes := o.sizes()
+	s := o.sweep("lifetime", len(sizes), 5)
+	tagDrain := harness.NewAcc(s)
+	ipdaDrain := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]out, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*1103, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(n, r.Split(1))
-			if err != nil {
-				return
-			}
-			model := energy.DefaultModel()
+		model := energy.DefaultModel()
 
-			tg, err := tag.New(net, tag.DefaultConfig(), r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			tagMeter, err := energy.NewMeter(net.N(), model)
-			if err != nil {
-				return
-			}
-			tg.Medium.SetMeter(tagMeter)
-			tagStart := tg.Sim.Now()
-			for round := 0; round < measureRounds; round++ {
-				if _, err := tg.RunCount(); err != nil {
-					return
-				}
-			}
-			tagMeter.ChargeIdle(float64(tg.Sim.Now() - tagStart))
-
-			in, err := core.New(net, core.DefaultConfig(), r.Split(3).Uint64())
-			if err != nil {
-				return
-			}
-			ipdaMeter, err := energy.NewMeter(net.N(), model)
-			if err != nil {
-				return
-			}
-			in.Medium.SetMeter(ipdaMeter)
-			ipdaStart := in.Sim.Now()
-			for round := 0; round < measureRounds; round++ {
-				if _, err := in.RunCount(); err != nil {
-					return
-				}
-			}
-			ipdaMeter.ChargeIdle(float64(in.Sim.Now() - ipdaStart))
-
-			outs[trial] = out{
-				tagDrain:  tagMeter.MaxSpent() / measureRounds,
-				ipdaDrain: ipdaMeter.MaxSpent() / measureRounds,
-				ok:        true,
-			}
-		})
-		var tagDrain, ipdaDrain stats.Sample
-		for _, out := range outs {
-			if !out.ok {
-				continue
-			}
-			tagDrain.Add(out.tagDrain)
-			ipdaDrain.Add(out.ipdaDrain)
+		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
 		}
-		battery := energy.DefaultModel().Battery
-		tagLife := battery / tagDrain.Mean()
-		ipdaLife := battery / ipdaDrain.Mean()
+		tagMeter, err := energy.NewMeter(net.N(), model)
+		if err != nil {
+			return err
+		}
+		tg.Medium.SetMeter(tagMeter)
+		tagStart := tg.Sim.Now()
+		for round := 0; round < measureRounds; round++ {
+			if _, err := tg.RunCount(); err != nil {
+				return err
+			}
+		}
+		tagMeter.ChargeIdle(float64(tg.Sim.Now() - tagStart))
+
+		in, err := core.New(net, core.DefaultConfig(), tr.Rng.Split(3).Uint64())
+		if err != nil {
+			return err
+		}
+		ipdaMeter, err := energy.NewMeter(net.N(), model)
+		if err != nil {
+			return err
+		}
+		in.Medium.SetMeter(ipdaMeter)
+		ipdaStart := in.Sim.Now()
+		for round := 0; round < measureRounds; round++ {
+			if _, err := in.RunCount(); err != nil {
+				return err
+			}
+		}
+		ipdaMeter.ChargeIdle(float64(in.Sim.Now() - ipdaStart))
+
+		tagDrain.Add(tr, tagMeter.MaxSpent()/measureRounds)
+		ipdaDrain.Add(tr, ipdaMeter.MaxSpent()/measureRounds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	battery := energy.DefaultModel().Battery
+	for pi, n := range sizes {
+		tagMean := tagDrain.Point(pi).Mean()
+		ipdaMean := ipdaDrain.Point(pi).Mean()
+		tagLife := battery / tagMean
+		ipdaLife := battery / ipdaMean
 		t.AddRow(
 			d(int64(n)),
-			f(tagDrain.Mean()*1e3), f(ipdaDrain.Mean()*1e3),
+			f(tagMean*1e3), f(ipdaMean*1e3),
 			f(tagLife), f(ipdaLife), f(tagLife/ipdaLife),
 		)
 	}

@@ -1,9 +1,8 @@
 package experiments
 
 import (
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/mtree"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -27,85 +26,62 @@ func MTrees(o Options) (*Table, error) {
 			"identified = those rounds where the polluted tree was named as the outlier",
 		},
 	}
-	trials := o.trials(5)
-	for si, n := range o.sizes() {
-		type out struct {
-			cov        [3]float64 // m = 2, 3, 4
-			outvoted   bool
-			identified bool
-			voteValid  bool
-			ok         bool
+	sizes := o.sizes()
+	s := o.sweep("mtrees", len(sizes), 5)
+	cov := [3]*harness.Acc{harness.NewAcc(s), harness.NewAcc(s), harness.NewAcc(s)}
+	outvoted := harness.NewAcc(s)
+	identified := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := topology.Random(topology.PaperConfig(sizes[tr.Point]), tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]out, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*1009, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := topology.Random(topology.PaperConfig(n), r.Split(1))
+		for mi, m := range []int{2, 3, 4} {
+			cfg := mtree.DefaultConfig(m)
+			if m > cfg.K {
+				cfg.K = m
+			}
+			in, err := mtree.New(net, cfg, tr.Rng.Split(uint64(m)).Uint64())
 			if err != nil {
-				return
+				return err
 			}
-			var res out
-			for mi, m := range []int{2, 3, 4} {
-				cfg := mtree.DefaultConfig(m)
-				if m > cfg.K {
-					cfg.K = m
+			cov[mi].Add(tr, in.CoverageFraction())
+			if m == 3 {
+				// Pollute one tree-0 aggregator and check the vote.
+				var attacker topology.NodeID = topology.None
+				for i := 1; i < net.N(); i++ {
+					if in.TreeOf[i] == 0 {
+						attacker = topology.NodeID(i)
+						break
+					}
 				}
-				in, err := mtree.New(net, cfg, r.Split(uint64(m)).Uint64())
+				if attacker == topology.None {
+					continue // tree 0 reached nobody: skip the vote
+				}
+				in.Pollute(attacker, 900)
+				v, err := in.RunCount()
 				if err != nil {
-					return
+					return err
 				}
-				res.cov[mi] = in.CoverageFraction()
-				if m == 3 {
-					// Pollute one tree-0 aggregator and check the vote.
-					var attacker topology.NodeID = topology.None
-					for i := 1; i < net.N(); i++ {
-						if in.TreeOf[i] == 0 {
-							attacker = topology.NodeID(i)
-							break
-						}
-					}
-					if attacker == topology.None {
-						continue
-					}
-					in.Pollute(attacker, 900)
-					v, err := in.RunCount()
-					if err != nil {
-						continue
-					}
-					res.voteValid = true
-					honest := int64(len(in.Participants()))
-					res.outvoted = v.Accepted && v.Value <= honest && v.Value >= honest*8/10
-					res.identified = len(v.Outliers) == 1 && v.Outliers[0] == 0
-				}
-			}
-			res.ok = true
-			outs[trial] = res
-		})
-		var cov2, cov3, cov4 stats.Sample
-		outvoted, identified, votes := 0, 0, 0
-		for _, out := range outs {
-			if !out.ok {
-				continue
-			}
-			cov2.Add(out.cov[0])
-			cov3.Add(out.cov[1])
-			cov4.Add(out.cov[2])
-			if out.voteValid {
-				votes++
-				if out.outvoted {
-					outvoted++
-				}
-				if out.identified {
-					identified++
-				}
+				honest := int64(len(in.Participants()))
+				outvoted.AddBool(tr, v.Accepted && v.Value <= honest && v.Value >= honest*8/10)
+				identified.AddBool(tr, len(v.Outliers) == 1 && v.Outliers[0] == 0)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
 		ov, id := "-", "-"
-		if votes > 0 {
-			ov = f(float64(outvoted) / float64(votes))
-			id = f(float64(identified) / float64(votes))
+		if votes := outvoted.Point(pi); votes.N() > 0 {
+			ov = f(votes.Mean())
+			id = f(identified.Point(pi).Mean())
 		}
 		t.AddRow(
 			d(int64(n)),
-			f(cov2.Mean()), f(cov3.Mean()), f(cov4.Mean()),
+			f(cov[0].Point(pi).Mean()), f(cov[1].Point(pi).Mean()), f(cov[2].Point(pi).Mean()),
 			ov, id,
 		)
 	}

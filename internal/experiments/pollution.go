@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"github.com/ipda-sim/ipda/internal/core"
-	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/tree"
 )
 
@@ -21,48 +21,42 @@ func Pollution(o Options) (*Table, error) {
 			"COUNT aggregation, N=400, Th=5; attacker is a random aggregator",
 		},
 	}
-	trials := o.trials(20)
 	deltas := []int64{0, 6, 10, 50, 1000}
-	for di, delta := range deltas {
-		detected := make([]bool, trials)
-		valid := make([]bool, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(di)*503, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(400, r.Split(1))
-			if err != nil {
-				return
-			}
-			in, err := core.New(net, core.DefaultConfig(), r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			if delta != 0 {
-				aggs := append(in.Trees.Aggregators(tree.RoleRed), in.Trees.Aggregators(tree.RoleBlue)...)
-				if len(aggs) == 0 {
-					return
-				}
-				in.Pollute(aggs[r.Intn(len(aggs))], delta)
-			}
-			res, err := in.RunCount()
-			if err != nil {
-				return
-			}
-			valid[trial] = true
-			detected[trial] = !res.Accepted
-		})
-		det, n := 0, 0
-		for i := range detected {
-			if !valid[i] {
-				continue
-			}
-			n++
-			if detected[i] {
-				det++
-			}
+	s := o.sweep("pollution", len(deltas), 20)
+	detected := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		delta := deltas[tr.Point]
+		net, err := deployment(400, tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
+		in, err := core.New(net, core.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
+		}
+		if delta != 0 {
+			aggs := append(in.Trees.Aggregators(tree.RoleRed), in.Trees.Aggregators(tree.RoleBlue)...)
+			if len(aggs) == 0 {
+				return nil // no aggregator to compromise: skip the trial
+			}
+			in.Pollute(aggs[tr.Rng.Intn(len(aggs))], delta)
+		}
+		res, err := in.RunCount()
+		if err != nil {
+			return err
+		}
+		detected.AddBool(tr, !res.Accepted)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, delta := range deltas {
+		sm := detected.Point(pi)
 		if delta == 0 {
-			t.AddRow("none", "-", f(float64(det)/float64(max(n, 1))), d(int64(n)))
+			t.AddRow("none", "-", f(sm.Mean()), d(int64(sm.N())))
 		} else {
-			t.AddRow(d(delta), f(float64(det)/float64(max(n, 1))), "-", d(int64(n)))
+			t.AddRow(d(delta), f(sm.Mean()), "-", d(int64(sm.N())))
 		}
 	}
 	return t, nil
@@ -81,69 +75,50 @@ func ThSweep(o Options) (*Table, error) {
 			"small Th rejects lossy-but-honest rounds; large Th misses subtle pollution — Th=5 balances both",
 		},
 	}
-	trials := o.trials(20)
 	ths := []int64{0, 2, 5, 10, 20, 50}
-	type rates struct{ falseRej, miss float64 }
-	results := make([]rates, len(ths))
-	for ti, th := range ths {
-		fr := make([]int, trials)
-		ms := make([]int, trials)
-		ok := make([]bool, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(ti)*607, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(400, r.Split(1))
-			if err != nil {
-				return
-			}
-			cfg := core.DefaultConfig()
-			cfg.Threshold = th
-			cfg.SliceWindow = 0.1 // congested: honest losses happen
-			// Clean round.
-			in, err := core.New(net, cfg, r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			clean, err := in.RunCount()
-			if err != nil {
-				return
-			}
-			// Attacked round on a fresh instance (same topology).
-			in2, err := core.New(net, cfg, r.Split(3).Uint64())
-			if err != nil {
-				return
-			}
-			aggs := append(in2.Trees.Aggregators(tree.RoleRed), in2.Trees.Aggregators(tree.RoleBlue)...)
-			if len(aggs) == 0 {
-				return
-			}
-			in2.Pollute(aggs[r.Intn(len(aggs))], 10)
-			dirty, err := in2.RunCount()
-			if err != nil {
-				return
-			}
-			ok[trial] = true
-			if !clean.Accepted {
-				fr[trial] = 1
-			}
-			if dirty.Accepted {
-				ms[trial] = 1
-			}
-		})
-		n, sumFR, sumMS := 0, 0, 0
-		for i := range ok {
-			if !ok[i] {
-				continue
-			}
-			n++
-			sumFR += fr[i]
-			sumMS += ms[i]
+	s := o.sweep("th", len(ths), 20)
+	falseRej := harness.NewAcc(s)
+	miss := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(400, tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		results[ti] = rates{
-			falseRej: float64(sumFR) / float64(max(n, 1)),
-			miss:     float64(sumMS) / float64(max(n, 1)),
+		cfg := core.DefaultConfig()
+		cfg.Threshold = ths[tr.Point]
+		cfg.SliceWindow = 0.1 // congested: honest losses happen
+		// Clean round.
+		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
 		}
+		clean, err := in.RunCount()
+		if err != nil {
+			return err
+		}
+		// Attacked round on a fresh instance (same topology).
+		in2, err := core.New(net, cfg, tr.Rng.Split(3).Uint64())
+		if err != nil {
+			return err
+		}
+		aggs := append(in2.Trees.Aggregators(tree.RoleRed), in2.Trees.Aggregators(tree.RoleBlue)...)
+		if len(aggs) == 0 {
+			return nil // no aggregator to compromise: skip the trial
+		}
+		in2.Pollute(aggs[tr.Rng.Intn(len(aggs))], 10)
+		dirty, err := in2.RunCount()
+		if err != nil {
+			return err
+		}
+		falseRej.AddBool(tr, !clean.Accepted)
+		miss.AddBool(tr, dirty.Accepted)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for ti, th := range ths {
-		t.AddRow(d(th), f(results[ti].falseRej), f(results[ti].miss))
+	for pi, th := range ths {
+		t.AddRow(d(th), f(falseRej.Point(pi).Mean()), f(miss.Point(pi).Mean()))
 	}
 	return t, nil
 }

@@ -5,7 +5,12 @@ import (
 	"sort"
 )
 
-// Func is one experiment runner.
+// Func is one experiment runner. A Func is a pure function of its
+// Options: equal Options yield byte-identical tables regardless of
+// Options.Workers (the harness's determinism contract). Any trial failure
+// cancels the underlying sweep and surfaces here as a non-nil error with
+// the failing (experiment, point, trial) cell in its message; a Func
+// never panics across goroutines.
 type Func func(Options) (*Table, error)
 
 // Registry maps experiment IDs (as used by cmd/ipda-bench -exp) to their

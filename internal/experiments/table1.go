@@ -1,8 +1,7 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -20,31 +19,30 @@ func Table1(o Options) (*Table, error) {
 		},
 	}
 	paper := map[int]float64{200: 8.8, 300: 13.7, 400: 18.6, 500: 23.5, 600: 28.4}
-	trials := o.trials(20)
-	for _, n := range o.sizes() {
-		sample := make([]float64, trials)
-		var err error
-		forEachTrial(Options{Seed: o.Seed + uint64(n), Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, e := deployment(n, r)
-			if e != nil {
-				err = e
-				return
-			}
-			sample[trial] = net.AvgDegree()
-		})
+	sizes := o.sizes()
+	s := o.sweep("table1", len(sizes), 20)
+	degree := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point], tr.Rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var s stats.Sample
-		s.AddAll(sample)
+		degree.Add(tr, net.AvgDegree())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
+		sm := degree.Point(pi)
 		paperCell := "-"
 		if v, ok := paper[n]; ok {
 			paperCell = f(v)
 		}
 		t.AddRow(
 			d(int64(n)),
-			f(s.Mean()),
-			f(s.CI95()),
+			f(sm.Mean()),
+			f(sm.CI95()),
 			f(topology.ExpectedAvgDegree(topology.PaperConfig(n))-1),
 			paperCell,
 		)

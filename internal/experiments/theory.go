@@ -5,9 +5,8 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/analysis"
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
-	"github.com/ipda-sim/ipda/internal/rng"
-	"github.com/ipda-sim/ipda/internal/stats"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -29,49 +28,40 @@ func CoverageBound(o Options) (*Table, error) {
 				f(analysis.PaperRegularExample(1000, 10))),
 		},
 	}
-	trials := o.trials(10)
-	for si, n := range o.sizes() {
-		type out struct {
-			degree, bound, expected, measured float64
-			ok                                bool
+	sizes := o.sizes()
+	s := o.sweep("coverage", len(sizes), 10)
+	degree := harness.NewAcc(s)
+	bound := harness.NewAcc(s)
+	expected := harness.NewAcc(s)
+	measured := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		if err != nil {
+			return err
 		}
-		outs := make([]out, trials)
-		forEachTrial(Options{Seed: o.Seed + uint64(si)*401, Workers: o.Workers}, trials, func(trial int, r *rng.Stream) {
-			net, err := deployment(n, r.Split(1))
-			if err != nil {
-				return
-			}
-			degrees := make([]int, 0, net.N()-1)
-			for i := 1; i < net.N(); i++ {
-				degrees = append(degrees, net.Degree(topology.NodeID(i)))
-			}
-			cfg := core.DefaultConfig()
-			cfg.Tree.Adaptive = false // pr = pb = 0.5, the analysis' model
-			in, err := core.New(net, cfg, r.Split(2).Uint64())
-			if err != nil {
-				return
-			}
-			outs[trial] = out{
-				degree:   net.AvgDegree(),
-				bound:    analysis.CoverageLowerBound(degrees, 0.5, 0.5),
-				expected: analysis.ExpectedFullyCoveredFraction(degrees, 0.5, 0.5),
-				measured: metrics.CoverageFraction(in.Trees, net.N()),
-				ok:       true,
-			}
-		})
-		var degree, bound, expected, measured stats.Sample
-		for _, o := range outs {
-			if !o.ok {
-				continue
-			}
-			degree.Add(o.degree)
-			bound.Add(o.bound)
-			expected.Add(o.expected)
-			measured.Add(o.measured)
+		degrees := make([]int, 0, net.N()-1)
+		for i := 1; i < net.N(); i++ {
+			degrees = append(degrees, net.Degree(topology.NodeID(i)))
 		}
+		cfg := core.DefaultConfig()
+		cfg.Tree.Adaptive = false // pr = pb = 0.5, the analysis' model
+		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		if err != nil {
+			return err
+		}
+		degree.Add(tr, net.AvgDegree())
+		bound.Add(tr, analysis.CoverageLowerBound(degrees, 0.5, 0.5))
+		expected.Add(tr, analysis.ExpectedFullyCoveredFraction(degrees, 0.5, 0.5))
+		measured.Add(tr, metrics.CoverageFraction(in.Trees, net.N()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
 		t.AddRow(
-			d(int64(n)), f(degree.Mean()),
-			f(bound.Mean()), f(expected.Mean()), f(measured.Mean()),
+			d(int64(n)), f(degree.Point(pi).Mean()),
+			f(bound.Point(pi).Mean()), f(expected.Point(pi).Mean()), f(measured.Point(pi).Mean()),
 		)
 	}
 	return t, nil
@@ -79,16 +69,35 @@ func CoverageBound(o Options) (*Table, error) {
 
 // Overhead reproduces the Section IV-A.2 message analysis (Figure 4): the
 // per-node message counts of TAG (2) and iPDA (2l+1) and the resulting
-// (2l+1)/2 ratio for l ∈ {1, 2, 3}.
+// (2l+1)/2 ratio for l ∈ {1, 2, 3}. The quantities are closed-form; the
+// harness still hosts the sweep so the experiment shares the progress and
+// cancellation plumbing.
 func Overhead(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "overhead",
 		Title:   "Per-node message counts and overhead ratio (Sec. IV-A.2, Figure 4)",
 		Columns: []string{"l", "TAG msgs/node", "iPDA msgs/node", "ratio (2l+1)/2"},
 	}
-	for _, l := range []int{1, 2, 3} {
-		tagMsgs, ipdaMsgs := analysis.MessagesPerNode(l)
-		t.AddRow(d(int64(l)), d(int64(tagMsgs)), d(int64(ipdaMsgs)), f(analysis.OverheadRatio(l)))
+	ls := []int{1, 2, 3}
+	s := o.fixedSweep("overhead", len(ls), 1)
+	tagMsgs := harness.NewAcc(s)
+	ipdaMsgs := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		tg, ip := analysis.MessagesPerNode(ls[tr.Point])
+		tagMsgs.Add(tr, float64(tg))
+		ipdaMsgs.Add(tr, float64(ip))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, l := range ls {
+		t.AddRow(
+			d(int64(l)),
+			d(int64(tagMsgs.Point(pi).Mean())),
+			d(int64(ipdaMsgs.Point(pi).Mean())),
+			f(analysis.OverheadRatio(l)),
+		)
 	}
 	return t, nil
 }

@@ -1,0 +1,155 @@
+// Package harness is the generic sweep engine behind every experiment:
+// a deterministic, parallel runner for (point × trial) grids.
+//
+// An experiment declares its sweep — an axis of points, a number of
+// independent trials per point — and a per-trial function. The engine
+// flattens the full grid into one global work queue over a single worker
+// pool, so wall-clock scales with the total number of trials rather than
+// with the slowest point's trials (a sweep of many points × few trials
+// keeps every worker busy instead of draining one point at a time).
+//
+// Determinism is the contract: every trial draws from a private stream
+// derived along the hierarchical seed path
+//
+//	root seed → experiment ID → point index → trial index
+//
+// via rng.SplitPath, so the output of a sweep is a pure function of
+// (Sweep, trial func) — identical at Workers=1 and Workers=N, and immune
+// to the label collisions ad-hoc seed arithmetic invites. Results are
+// collected through Acc accumulators (acc.go), which fold per-trial
+// observations in trial order regardless of completion order.
+//
+// Errors are first-class: the first failing trial cancels the sweep via
+// context.Context (queued trials are dropped, running ones may observe
+// T.Ctx done) and Run returns the error annotated with its grid cell.
+// Panics inside a trial are recovered into errors, so a worker never
+// takes the whole process down with a cross-goroutine panic.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+)
+
+// Sweep declares one experiment's (point × trial) grid.
+type Sweep struct {
+	// ID names the experiment in the seed path; distinct IDs give
+	// disjoint stream families for the same root seed.
+	ID string
+	// Seed is the root of the stream hierarchy; equal seeds give equal
+	// results.
+	Seed uint64
+	// Points is the number of sweep points (axis values).
+	Points int
+	// Trials is the number of independent trials per point.
+	Trials int
+	// Workers bounds parallelism over the flattened grid; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is called after every completed trial
+	// with the number of trials finished so far and the grid total.
+	// Calls are serialized but arrive in completion order.
+	Progress func(done, total int)
+}
+
+// T is the execution context handed to one trial.
+type T struct {
+	// Point and Trial locate this trial on the sweep grid.
+	Point int
+	Trial int
+	// Rng is the trial's private random stream, derived from the sweep
+	// seed path; no other trial shares it.
+	Rng *rng.Stream
+	// Ctx is done once the sweep is cancelled by another trial's
+	// failure; long trials may poll it to stop early.
+	Ctx context.Context
+}
+
+func (s Sweep) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes trial for every cell of the grid and waits for completion.
+// Trials run concurrently across the whole grid; the first error (lowest
+// grid index among those observed) cancels the remainder and is returned.
+func (s Sweep) Run(trial func(t *T) error) error {
+	total := s.Points * s.Trials
+	if total <= 0 {
+		return nil
+	}
+	workers := s.workers()
+	if workers > total {
+		workers = total
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	root := rng.New(s.Seed).SplitString(s.ID)
+
+	var (
+		mu      sync.Mutex
+		done    int
+		failIdx int
+		failErr error
+		wg      sync.WaitGroup
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue
+				}
+				point, tr := idx/s.Trials, idx%s.Trials
+				err := runTrial(trial, &T{
+					Point: point,
+					Trial: tr,
+					Rng:   root.SplitPath(uint64(point)+1, uint64(tr)+1),
+					Ctx:   ctx,
+				})
+				mu.Lock()
+				if err != nil {
+					if failErr == nil || idx < failIdx {
+						failIdx = idx
+						failErr = fmt.Errorf("harness: %s point %d trial %d: %w", s.ID, point, tr, err)
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				done++
+				if s.Progress != nil {
+					s.Progress(done, total)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for idx := 0; idx < total; idx++ {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	return failErr
+}
+
+// runTrial invokes trial, converting a panic into an error so one bad
+// trial cancels the sweep instead of killing the process from a worker
+// goroutine.
+func runTrial(trial func(t *T) error, t *T) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("trial panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return trial(t)
+}

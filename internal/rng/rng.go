@@ -52,6 +52,35 @@ func (r *Stream) Split(label uint64) *Stream {
 	return New(splitmix64(&seed))
 }
 
+// SplitPath derives a child stream by splitting along each label in turn:
+// r.SplitPath(a, b, c) == r.Split(a).Split(b).Split(c). Hierarchical paths
+// (experiment → point → trial) give every leaf an independent stream with
+// no cross-path collisions, unlike flat seed arithmetic. With no labels it
+// returns r itself.
+func (r *Stream) SplitPath(labels ...uint64) *Stream {
+	child := r
+	for _, label := range labels {
+		child = child.Split(label)
+	}
+	return child
+}
+
+// SplitString derives a child stream labeled by a string (FNV-1a hash of
+// name). It lets path roots be named ("fig6", "deployment") rather than
+// numbered, so adding an experiment never renumbers another's streams.
+func (r *Stream) SplitString(name string) *Stream {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return r.Split(h)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).

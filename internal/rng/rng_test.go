@@ -256,6 +256,41 @@ func TestSampleUniformity(t *testing.T) {
 	}
 }
 
+func TestSplitPathChainsSplit(t *testing.T) {
+	root := New(7)
+	want := root.Split(3).Split(1).Split(4).Uint64()
+	if got := root.SplitPath(3, 1, 4).Uint64(); got != want {
+		t.Fatalf("SplitPath(3,1,4) = %d, want chained Split %d", got, want)
+	}
+	if root.SplitPath() != root {
+		t.Fatal("SplitPath() did not return the receiver")
+	}
+}
+
+func TestSplitPathOrderMatters(t *testing.T) {
+	// Hierarchical paths must not collide across levels the way flat
+	// seed arithmetic does: (1,2) and (2,1) are distinct leaves.
+	root := New(7)
+	a := root.SplitPath(1, 2).Uint64()
+	b := root.SplitPath(2, 1).Uint64()
+	if a == b {
+		t.Fatal("paths (1,2) and (2,1) collided")
+	}
+}
+
+func TestSplitStringDistinctAndStable(t *testing.T) {
+	root := New(7)
+	fig6a := root.SplitString("fig6").Uint64()
+	fig6b := root.SplitString("fig6").Uint64()
+	fig7 := root.SplitString("fig7").Uint64()
+	if fig6a != fig6b {
+		t.Fatal("SplitString not deterministic")
+	}
+	if fig6a == fig7 {
+		t.Fatal("distinct labels gave the same stream")
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

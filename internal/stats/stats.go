@@ -15,6 +15,7 @@ type Sample struct {
 	n    int
 	mean float64
 	m2   float64 // sum of squared deviations (Welford)
+	sum  float64
 	min  float64
 	max  float64
 }
@@ -22,6 +23,7 @@ type Sample struct {
 // Add records one observation.
 func (s *Sample) Add(x float64) {
 	s.n++
+	s.sum += x
 	if s.n == 1 {
 		s.min, s.max = x, x
 	} else {
@@ -49,6 +51,9 @@ func (s *Sample) N() int { return s.n }
 
 // Mean returns the sample mean (0 for an empty sample).
 func (s *Sample) Mean() float64 { return s.mean }
+
+// Sum returns the running sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
 
 // Min returns the smallest observation (0 for an empty sample).
 func (s *Sample) Min() float64 { return s.min }
@@ -105,6 +110,7 @@ func (s *Sample) Merge(other *Sample) {
 		s.max = other.max
 	}
 	s.n, s.mean, s.m2 = n, mean, m2
+	s.sum += other.sum
 }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear

@@ -75,6 +75,23 @@ func TestMergeEquivalentToSequential(t *testing.T) {
 	}
 }
 
+func TestSampleSum(t *testing.T) {
+	var a, b Sample
+	a.AddAll([]float64{1, 2, 3})
+	if a.Sum() != 6 {
+		t.Fatalf("Sum = %v, want 6", a.Sum())
+	}
+	b.AddAll([]float64{4, 0.5})
+	a.Merge(&b)
+	if a.Sum() != 10.5 {
+		t.Fatalf("merged Sum = %v, want 10.5", a.Sum())
+	}
+	var empty Sample
+	if empty.Sum() != 0 {
+		t.Fatalf("empty Sum = %v, want 0", empty.Sum())
+	}
+}
+
 func TestMergeMinMax(t *testing.T) {
 	var a, b Sample
 	a.AddAll([]float64{5, 6, 7})

@@ -10,12 +10,19 @@
 //	ipda-bench -exp fig7 -trials 20   # more trials per point
 //	ipda-bench -exp all -progress     # live trials-completed counter
 //	ipda-bench -list                  # show experiment IDs
+//
+// Profiling (see EXPERIMENTS.md):
+//
+//	ipda-bench -exp fig7 -cpuprofile cpu.out   # CPU profile of the run
+//	ipda-bench -exp fig7 -memprofile mem.out   # heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -33,8 +40,41 @@ func main() {
 		format   = flag.String("format", "text", "output format: text | csv")
 		progress = flag.Bool("progress", false, "report trials completed per sweep on stderr")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ipda-bench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ipda-bench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range experiments.Names() {

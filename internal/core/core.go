@@ -139,6 +139,7 @@ type Instance struct {
 	round     uint16
 	polluters map[topology.NodeID]int64
 	dead      []bool
+	ciphers   *linksec.CipherCache // per-link sealing state over Keys
 
 	// Per-round mutable state, reset by runAdditiveRound.
 	assembled  []assemblerPair
@@ -196,6 +197,7 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 		Keys:      keys,
 		rand:      root.Split(3),
 		polluters: make(map[topology.NodeID]int64),
+		ciphers:   linksec.NewCipherCache(keys),
 	}
 	return inst, nil
 }
@@ -512,7 +514,7 @@ func (in *Instance) split(value int64) []int64 {
 func (in *Instance) keyedTargets(id topology.NodeID, cands []topology.NodeID) []topology.NodeID {
 	out := make([]topology.NodeID, 0, len(cands))
 	for _, c := range cands {
-		if _, ok := in.Keys.SharedKey(id, c); ok {
+		if _, ok := in.ciphers.Link(id, c); ok {
 			out = append(out, c)
 		}
 	}
@@ -530,14 +532,14 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 			}
 			continue
 		}
-		key, ok := in.Keys.SharedKey(src, dst)
+		cipher, ok := in.ciphers.Link(src, dst)
 		if !ok {
 			continue // filtered earlier; defensive
 		}
 		if in.OnSlice != nil {
 			in.OnSlice(src, dst, color, shares[idx])
 		}
-		sealed := linksec.Seal(key, sliceNonce(round, src, dst, idx), shares[idx])
+		sealed := cipher.Seal(sliceNonce(round, src, dst, idx), shares[idx])
 		p := &packet.Packet{
 			Header: packet.Header{Kind: packet.KindSlice, Src: int32(src), Dst: int32(dst), Round: round},
 			Cipher: sealed.Cipher,
@@ -589,11 +591,11 @@ func (in *Instance) onSlice(self topology.NodeID, p *packet.Packet) {
 	if in.disabled(self) {
 		return
 	}
-	key, ok := in.Keys.SharedKey(topology.NodeID(p.Src), self)
+	cipher, ok := in.ciphers.Link(topology.NodeID(p.Src), self)
 	if !ok {
 		return
 	}
-	share, err := linksec.Open(key, linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
+	share, err := cipher.Open(linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
 	if err != nil {
 		return // forged or corrupted; drop
 	}

@@ -7,6 +7,12 @@
 // single-threaded by design: reproducibility matters more than parallelism
 // inside one simulated network, and the experiment harness parallelizes
 // across independent trials instead.
+//
+// The kernel is allocation-free in steady state: event structs are recycled
+// through a free list as soon as they fire or are cancelled, and Cancel
+// removes its event from the heap eagerly instead of leaving a dead entry
+// to be skipped at pop time. Handles carry a generation counter so a handle
+// to a recycled event can never touch its successor.
 package eventsim
 
 import (
@@ -18,28 +24,51 @@ import (
 // Time is simulated time in seconds since the start of the run.
 type Time float64
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. The struct is recycled through the Sim's
+// free list after it fires or is cancelled; gen distinguishes lifecycles so
+// stale Handles become no-ops rather than acting on the next occupant.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	at  Time
+	seq uint64
+	fn  func()
+	idx int    // position in the heap, -1 once removed
+	gen uint64 // bumped when the event completes (fires or is cancelled)
 }
 
-// Handle allows a scheduled event to be cancelled before it fires.
-type Handle struct{ ev *event }
+// Handle allows a scheduled event to be cancelled before it fires. Methods
+// have pointer receivers: Cancel records its outcome in the handle itself,
+// so Cancelled reports what happened through this handle (a copy made
+// before Cancel does not observe it).
+type Handle struct {
+	s         *Sim
+	ev        *event
+	gen       uint64
+	cancelled bool
+}
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+// Cancel prevents the event from firing, removing it from the schedule
+// immediately. Cancelling an already-fired or already-cancelled event is a
+// no-op: an event that has run cannot be un-run.
+func (h *Handle) Cancel() {
+	if h.cancelled || h.ev == nil {
+		return
 	}
+	ev := h.ev
+	h.ev = nil
+	if ev.gen != h.gen {
+		return // already fired or cancelled (possibly recycled since)
+	}
+	if ev.idx >= 0 {
+		heap.Remove(&h.s.queue, ev.idx)
+	}
+	h.s.recycle(ev)
+	h.cancelled = true
 }
 
-// Cancelled reports whether Cancel was called on the handle.
-func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.dead }
+// Cancelled reports whether this handle's Cancel call actually cancelled
+// the event. It stays false when the event had already fired by the time
+// Cancel was called.
+func (h *Handle) Cancelled() bool { return h.cancelled }
 
 type eventHeap []*event
 
@@ -65,6 +94,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1 // a popped event is no longer addressable in the heap
 	*h = old[:n-1]
 	return ev
 }
@@ -74,6 +104,7 @@ type Sim struct {
 	now    Time
 	seq    uint64
 	queue  eventHeap
+	free   []*event // recycled event structs
 	fired  uint64
 	halted bool
 }
@@ -81,15 +112,42 @@ type Sim struct {
 // New returns a fresh simulation at time zero.
 func New() *Sim { return &Sim{} }
 
+// NewWithCap returns a fresh simulation with capacity for n simultaneously
+// scheduled events preallocated (heap slots and pooled event structs), so
+// a run that never exceeds n pending events performs no event allocation
+// at all.
+func NewWithCap(n int) *Sim {
+	if n < 0 {
+		n = 0
+	}
+	s := &Sim{
+		queue: make(eventHeap, 0, n),
+		free:  make([]*event, 0, n),
+	}
+	evs := make([]event, n)
+	for i := range evs {
+		s.free = append(s.free, &evs[i])
+	}
+	return s
+}
+
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still scheduled (including
-// cancelled-but-unreaped ones).
+// Pending returns the number of events still scheduled. Cancelled events
+// leave the schedule immediately and are not counted.
 func (s *Sim) Pending() int { return len(s.queue) }
+
+// recycle returns a completed event to the free list. Bumping gen here
+// invalidates every outstanding handle to this lifecycle.
+func (s *Sim) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil // release the closure for the collector
+	s.free = append(s.free, ev)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a protocol bug, never a recoverable condition.
@@ -100,10 +158,20 @@ func (s *Sim) At(t Time, fn func()) Handle {
 	if math.IsNaN(float64(t)) {
 		panic("eventsim: scheduling at NaN time")
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return Handle{ev}
+	return Handle{s: s, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -121,18 +189,19 @@ func (s *Sim) Run(deadline Time) uint64 {
 	start := s.fired
 	s.halted = false
 	for len(s.queue) > 0 && !s.halted {
-		ev := s.queue[0]
-		if ev.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if ev.at > deadline {
+		if s.queue[0].at > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
+		ev := heap.Pop(&s.queue).(*event)
 		s.now = ev.at
 		s.fired++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: the callback may schedule new events
+		// (reusing this very struct), and any handle to this lifecycle is
+		// invalidated by the gen bump first, so a self-Cancel inside fn is
+		// a safe no-op.
+		s.recycle(ev)
+		fn()
 	}
 	if s.now < deadline && len(s.queue) == 0 && !math.IsInf(float64(deadline), 1) {
 		// Advance the clock to the deadline so successive Run calls see

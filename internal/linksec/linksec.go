@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -316,4 +317,146 @@ func tag(key Key, nonce uint32, cipher [8]byte) uint32 {
 		uint64(nonce),
 		binary.BigEndian.Uint64(cipher[:]))
 	return binary.BigEndian.Uint32(d[:4])
+}
+
+// PRF labels, precomputed so the hot path writes constant byte slices.
+var (
+	streamLabel = []byte("stream")
+	tagLabel    = []byte("tag")
+)
+
+// SealedSize is the wire length of one sealed share as produced by
+// Cipher.EncryptTo: 8-byte ciphertext, 4-byte nonce, 4-byte tag.
+const SealedSize = 16
+
+// ErrShort is returned when a wire buffer is too small to hold a sealed
+// share.
+var ErrShort = errors.New("linksec: sealed payload truncated")
+
+// Cipher is a reusable sealing state bound to one link key. It produces
+// output byte-identical to the package-level Seal/Open but keeps one
+// SHA-256 hasher and scratch buffer alive across calls, so steady-state
+// sealing performs no allocation. A Cipher is not safe for concurrent use;
+// protocol instances hold one per link (see CipherCache).
+type Cipher struct {
+	key Key
+	h   hash.Hash
+	// Staging buffers for words written to h: arrays passed to an
+	// interface method would escape to the heap each call, so the hot path
+	// stages them in the (already heap-resident) Cipher instead.
+	word    [8]byte
+	ct      [8]byte
+	scratch [sha256.Size]byte
+}
+
+// NewCipher creates a reusable cipher state for key.
+func NewCipher(key Key) *Cipher {
+	return &Cipher{key: key, h: sha256.New()}
+}
+
+// Key returns the link key this cipher seals under.
+func (c *Cipher) Key() Key { return c.key }
+
+// writeU64 feeds one big-endian word to the hasher without allocating.
+func (c *Cipher) writeU64(v uint64) {
+	binary.BigEndian.PutUint64(c.word[:], v)
+	c.h.Write(c.word[:])
+}
+
+// keystream returns the 8 keystream bytes for nonce as a uint64.
+func (c *Cipher) keystream(nonce uint32) uint64 {
+	c.h.Reset()
+	c.h.Write(streamLabel)
+	c.h.Write(c.key[:])
+	c.writeU64(uint64(nonce))
+	return binary.BigEndian.Uint64(c.h.Sum(c.scratch[:0])[:8])
+}
+
+// tagOf computes the truncated authentication tag over a ciphertext.
+func (c *Cipher) tagOf(nonce uint32, cipher [8]byte) uint32 {
+	c.h.Reset()
+	c.h.Write(tagLabel)
+	c.h.Write(c.key[:])
+	c.writeU64(uint64(nonce))
+	c.ct = cipher
+	c.h.Write(c.ct[:])
+	return binary.BigEndian.Uint32(c.h.Sum(c.scratch[:0])[:4])
+}
+
+// Seal encrypts an int64 additive share, exactly as the package-level Seal
+// but without per-call hasher construction.
+func (c *Cipher) Seal(nonce uint32, value int64) Sealed {
+	var out Sealed
+	out.Nonce = nonce
+	binary.BigEndian.PutUint64(out.Cipher[:], uint64(value)^c.keystream(nonce))
+	out.Tag = c.tagOf(nonce, out.Cipher)
+	return out
+}
+
+// Open decrypts and authenticates a sealed payload.
+func (c *Cipher) Open(s Sealed) (int64, error) {
+	if c.tagOf(s.Nonce, s.Cipher) != s.Tag {
+		return 0, ErrAuth
+	}
+	return int64(binary.BigEndian.Uint64(s.Cipher[:]) ^ c.keystream(s.Nonce)), nil
+}
+
+// EncryptTo seals value under nonce and appends the SealedSize-byte wire
+// encoding to dst, returning the extended slice. Steady-state calls with
+// sufficient capacity in dst perform no allocation.
+func (c *Cipher) EncryptTo(dst []byte, nonce uint32, value int64) []byte {
+	ct := uint64(value) ^ c.keystream(nonce)
+	var cipher [8]byte
+	binary.BigEndian.PutUint64(cipher[:], ct)
+	dst = append(dst, cipher[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, nonce)
+	return binary.BigEndian.AppendUint32(dst, c.tagOf(nonce, cipher))
+}
+
+// DecryptTo authenticates and decrypts the sealed share at the front of
+// src (the wire form EncryptTo appends) without allocating.
+func (c *Cipher) DecryptTo(src []byte) (int64, error) {
+	if len(src) < SealedSize {
+		return 0, ErrShort
+	}
+	var s Sealed
+	copy(s.Cipher[:], src[:8])
+	s.Nonce = binary.BigEndian.Uint32(src[8:12])
+	s.Tag = binary.BigEndian.Uint32(src[12:16])
+	return c.Open(s)
+}
+
+// CipherCache memoizes one reusable Cipher per link over a key-management
+// Scheme, so per-round sealing reuses hasher state instead of re-deriving
+// keys and rebuilding hashers per share. Negative lookups (pairs the
+// scheme gives no key) are memoized too. Not safe for concurrent use.
+type CipherCache struct {
+	scheme Scheme
+	links  map[uint64]*Cipher // nil value = no shared key
+}
+
+// NewCipherCache creates an empty cache over scheme.
+func NewCipherCache(scheme Scheme) *CipherCache {
+	return &CipherCache{scheme: scheme, links: make(map[uint64]*Cipher)}
+}
+
+// Link returns the cipher for the a–b link, or ok=false when the scheme
+// gives the pair no key. Both orientations share one cipher.
+func (cc *CipherCache) Link(a, b topology.NodeID) (*Cipher, bool) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	id := uint64(uint32(lo))<<32 | uint64(uint32(hi))
+	if c, seen := cc.links[id]; seen {
+		return c, c != nil
+	}
+	key, ok := cc.scheme.SharedKey(a, b)
+	if !ok {
+		cc.links[id] = nil
+		return nil, false
+	}
+	c := NewCipher(key)
+	cc.links[id] = c
+	return c, true
 }

@@ -86,6 +86,17 @@ type MAC struct {
 	acked    []bool
 	lastSeq  map[pairKey]uint16
 	stats    Stats
+
+	// Reusable frame buffers: one data buffer and one ACK buffer per node.
+	// A node's previous frame is fully resolved by the medium before it can
+	// encode the next one (the radio resolves receptions at end-of-air, and
+	// both the next attempt and the ACK path are strictly later), so each
+	// buffer is recycled across sends instead of allocated per frame.
+	txbuf  [][]byte
+	ackbuf [][]byte
+	// rxScratch is the decode target for every received frame; frames
+	// delivered upward are copied out since handlers may retain them.
+	rxScratch packet.Packet
 }
 
 // New creates a MAC over medium for a network of n nodes and installs
@@ -109,6 +120,8 @@ func New(sim *eventsim.Sim, medium *radio.Medium, n int, cfg Config, rand *rng.S
 		waiting:  make([]bool, n),
 		acked:    make([]bool, n),
 		lastSeq:  make(map[pairKey]uint16),
+		txbuf:    make([][]byte, n),
+		ackbuf:   make([][]byte, n),
 	}
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
@@ -171,9 +184,9 @@ func (m *MAC) attempt(src topology.NodeID, attempt int) {
 		return
 	}
 	f := q[0]
-	frame := f.pkt.Marshal()
+	m.txbuf[src] = f.pkt.AppendEncode(m.txbuf[src][:0])
 	size := f.pkt.Size()
-	m.medium.Transmit(src, f.pkt.Dst, frame, size)
+	m.medium.Transmit(src, f.pkt.Dst, m.txbuf[src], size)
 	m.stats.Sent++
 	air := m.medium.Duration(size)
 	if f.pkt.Dst == packet.Broadcast {
@@ -224,10 +237,13 @@ func (m *MAC) dequeue(src topology.NodeID) {
 }
 
 // onReceive handles every frame decoded at a node: ACK matching, ACK
-// generation, duplicate suppression, and upward delivery.
+// generation, duplicate suppression, and upward delivery. Frames decode
+// into a shared scratch packet; only frames delivered upward are copied to
+// the heap (handlers may retain them), so ACKs and duplicates cost no
+// allocation.
 func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
-	p, err := packet.Unmarshal(frame)
-	if err != nil {
+	p := &m.rxScratch
+	if err := packet.DecodeFrame(p, frame); err != nil {
 		return
 	}
 	if p.Kind == packet.KindAck {
@@ -239,17 +255,19 @@ func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
 	if p.Dst != packet.Broadcast {
 		// Acknowledge one SIFS later if the radio is free; a suppressed
 		// ACK just means the sender retransmits.
-		ack := &packet.Packet{Header: packet.Header{
-			Kind: packet.KindAck,
-			Src:  int32(self),
-			Dst:  p.Src,
-			Seq:  p.Seq,
-		}}
+		ackDst, ackSeq := p.Src, p.Seq
 		m.sim.After(m.cfg.SIFS, func() {
 			if m.medium.Busy(self) {
 				return
 			}
-			m.medium.Transmit(self, ack.Dst, ack.Marshal(), ack.Size())
+			ack := packet.Packet{Header: packet.Header{
+				Kind: packet.KindAck,
+				Src:  int32(self),
+				Dst:  ackDst,
+				Seq:  ackSeq,
+			}}
+			m.ackbuf[self] = ack.AppendEncode(m.ackbuf[self][:0])
+			m.medium.Transmit(self, ack.Dst, m.ackbuf[self], ack.Size())
 			m.stats.AcksSent++
 		})
 		key := pairKey{topology.NodeID(p.Src), self}
@@ -260,6 +278,8 @@ func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
 		m.lastSeq[key] = p.Seq
 	}
 	if h := m.handlers[self]; h != nil {
-		h(self, p)
+		up := new(packet.Packet)
+		*up = *p
+		h(self, up)
 	}
 }

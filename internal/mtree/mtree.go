@@ -109,12 +109,13 @@ type Instance struct {
 	// Phase I (slice-target candidates).
 	Heard [][][]topology.NodeID
 
-	sim    *eventsim.Sim
-	medium *radio.Medium
-	mac    *mac.MAC
-	keys   linksec.Scheme
-	rand   *rng.Stream
-	round  uint16
+	sim     *eventsim.Sim
+	medium  *radio.Medium
+	mac     *mac.MAC
+	keys    linksec.Scheme
+	ciphers *linksec.CipherCache // per-link sealing state over keys
+	rand    *rng.Stream
+	round   uint16
 
 	polluters map[topology.NodeID]int64
 
@@ -150,6 +151,7 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 		rand:      root.Split(2),
 		polluters: make(map[topology.NodeID]int64),
 	}
+	in.ciphers = linksec.NewCipherCache(in.keys)
 	in.buildTrees(root.Split(3))
 	if err := in.checkDisjoint(); err != nil {
 		return nil, err
@@ -474,11 +476,11 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 					in.assembled[id][t].Add(id, shares[idx])
 					continue
 				}
-				key, ok := in.keys.SharedKey(id, dst)
+				cipher, ok := in.ciphers.Link(id, dst)
 				if !ok {
 					continue
 				}
-				sealed := linksec.Seal(key, nonce(round, id, dst, t*in.Cfg.Slices+idx), shares[idx])
+				sealed := cipher.Seal(nonce(round, id, dst, t*in.Cfg.Slices+idx), shares[idx])
 				p := &packet.Packet{
 					Header: packet.Header{Kind: packet.KindSlice, Src: int32(id), Dst: int32(dst), Round: round},
 					Cipher: sealed.Cipher,
@@ -566,11 +568,11 @@ func (in *Instance) installReceivers(round uint16) {
 				if t < 0 || t >= in.Cfg.Trees {
 					return
 				}
-				key, ok := in.keys.SharedKey(topology.NodeID(p.Src), self)
+				cipher, ok := in.ciphers.Link(topology.NodeID(p.Src), self)
 				if !ok {
 					return
 				}
-				share, err := linksec.Open(key, linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
+				share, err := cipher.Open(linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
 				if err != nil {
 					return
 				}

@@ -157,7 +157,14 @@ func (p *Packet) Size() int {
 // Marshal encodes p into a fresh byte slice of exactly Size()-PhysOverhead
 // bytes (the physical-layer overhead carries no protocol data).
 func (p *Packet) Marshal() []byte {
-	buf := make([]byte, 0, p.Size()-PhysOverhead)
+	return p.AppendEncode(make([]byte, 0, p.Size()-PhysOverhead))
+}
+
+// AppendEncode appends p's wire encoding (Size()-PhysOverhead bytes) to buf
+// and returns the extended slice. Encoding into a reused buffer with enough
+// capacity performs no allocation, which is how the MAC recycles one frame
+// buffer per node across sends.
+func (p *Packet) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(p.Kind))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Src))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Dst))
@@ -187,10 +194,21 @@ func (p *Packet) Marshal() []byte {
 
 // Unmarshal decodes a frame produced by Marshal.
 func Unmarshal(data []byte) (*Packet, error) {
-	if len(data) < headerSize {
-		return nil, fmt.Errorf("packet: frame too short (%d bytes)", len(data))
-	}
 	p := &Packet{}
+	if err := DecodeFrame(p, data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeFrame decodes a frame produced by Marshal into an existing Packet,
+// overwriting it entirely. It allocates only when building an error, so
+// hot receive paths can decode into a scratch Packet.
+func DecodeFrame(p *Packet, data []byte) error {
+	*p = Packet{}
+	if len(data) < headerSize {
+		return fmt.Errorf("packet: frame too short (%d bytes)", len(data))
+	}
 	p.Kind = Kind(data[0])
 	p.Src = int32(binary.BigEndian.Uint32(data[1:5]))
 	p.Dst = int32(binary.BigEndian.Uint32(data[5:9]))
@@ -206,18 +224,18 @@ func Unmarshal(data []byte) (*Packet, error) {
 	switch p.Kind {
 	case KindHello:
 		if err := need(helloBody); err != nil {
-			return nil, err
+			return err
 		}
 		p.Color = Color(body[0])
 		p.Hop = binary.BigEndian.Uint16(body[1:3])
 	case KindQuery:
 		if err := need(queryBody); err != nil {
-			return nil, err
+			return err
 		}
 		p.Func = body[0]
 	case KindSlice:
 		if err := need(sliceBody); err != nil {
-			return nil, err
+			return err
 		}
 		copy(p.Cipher[:], body[:8])
 		p.Nonce = binary.BigEndian.Uint32(body[8:12])
@@ -225,14 +243,14 @@ func Unmarshal(data []byte) (*Packet, error) {
 		p.Color = Color(body[16])
 	case KindAggregate:
 		if err := need(aggregateBody); err != nil {
-			return nil, err
+			return err
 		}
 		p.Value = int64(binary.BigEndian.Uint64(body[:8]))
 		p.Count = binary.BigEndian.Uint32(body[8:12])
 		p.Color = Color(body[12])
 	case KindAck:
 	default:
-		return nil, fmt.Errorf("packet: unknown kind %d", data[0])
+		return fmt.Errorf("packet: unknown kind %d", data[0])
 	}
-	return p, nil
+	return nil
 }

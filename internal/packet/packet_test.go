@@ -1,6 +1,7 @@
 package packet
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -183,5 +184,89 @@ func TestRoundTripProperty(t *testing.T) {
 		return true
 	}, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAppendEncodeMatchesMarshal(t *testing.T) {
+	for _, kind := range []Kind{KindHello, KindQuery, KindSlice, KindAggregate, KindAck} {
+		p := &Packet{
+			Header: Header{Kind: kind, Src: 7, Dst: Broadcast, Round: 3, Seq: 12},
+			Color:  Blue,
+			Hop:    4,
+			Func:   9,
+			Cipher: [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+			Nonce:  0xDEAD,
+			Tag:    0xBEEF,
+			Value:  -42,
+			Count:  17,
+		}
+		want := p.Marshal()
+		prefix := []byte{0xAA, 0xBB}
+		got := p.AppendEncode(append([]byte(nil), prefix...))
+		if !bytes.Equal(got[:2], prefix) {
+			t.Fatalf("%v: AppendEncode clobbered the prefix", kind)
+		}
+		if !bytes.Equal(got[2:], want) {
+			t.Fatalf("%v: AppendEncode = %x, Marshal = %x", kind, got[2:], want)
+		}
+	}
+}
+
+func TestAppendEncodeAllocFree(t *testing.T) {
+	p := &Packet{
+		Header: Header{Kind: KindSlice, Src: 3, Dst: 9, Round: 2, Seq: 77},
+		Nonce:  0x01020304,
+		Tag:    0xA1B2C3D4,
+		Color:  Red,
+	}
+	buf := p.AppendEncode(make([]byte, 0, 64)) // warm
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = p.AppendEncode(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode into a sized buffer allocated %v per op, want 0", allocs)
+	}
+}
+
+func TestDecodeFrameMatchesUnmarshal(t *testing.T) {
+	p := &Packet{
+		Header: Header{Kind: KindAggregate, Src: 5, Dst: 6, Round: 9, Seq: 2},
+		Value:  123456789,
+		Count:  44,
+		Color:  Red,
+	}
+	frame := p.Marshal()
+	want, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Packet
+	got.Func = 99 // stale state must be cleared by DecodeFrame
+	if err := DecodeFrame(&got, frame); err != nil {
+		t.Fatal(err)
+	}
+	if got != *want {
+		t.Fatalf("DecodeFrame = %+v, want %+v", got, *want)
+	}
+	if err := DecodeFrame(&got, frame[:3]); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+}
+
+// BenchmarkPacketEncode measures encoding one slice frame into a reused
+// buffer. Pre-PR baseline (Marshal, fresh slice per frame): 47.65 ns/op,
+// 32 B/op, 1 allocs/op.
+func BenchmarkPacketEncode(b *testing.B) {
+	p := &Packet{
+		Header: Header{Kind: KindSlice, Src: 3, Dst: 9, Round: 2, Seq: 77},
+		Nonce:  0x01020304,
+		Tag:    0xA1B2C3D4,
+		Color:  Red,
+	}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.AppendEncode(buf[:0])
 	}
 }

@@ -16,6 +16,13 @@
 //
 // Propagation delay is negligible at sensor-network scales (50 m ≈ 0.17 µs)
 // and is modelled as zero.
+//
+// Every reception of one frame ends at the same instant (zero propagation
+// delay), so a transmission schedules exactly ONE end-of-air event that
+// resolves all neighbor receptions in deterministic neighbor order — not
+// one event per neighbor. Transmission records (and the receptions inlined
+// in them) recycle through a per-medium free list, making the steady-state
+// per-frame path allocation-free.
 package radio
 
 import (
@@ -28,12 +35,15 @@ import (
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
-// Receiver handles frames successfully decoded by a node.
+// Receiver handles frames successfully decoded by a node. The frame slice
+// is only valid for the duration of the call: senders reuse their buffers
+// across transmissions, so a receiver that needs the bytes later must copy.
 type Receiver func(self topology.NodeID, frame []byte)
 
 // Tap observes every frame audible at a node, decoded or not — the
 // eavesdropper's and the monitor's view of the medium. collided reports
-// whether the frame was corrupted at this observer.
+// whether the frame was corrupted at this observer. As with Receiver, the
+// frame slice must not be retained past the call.
 type Tap func(observer topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool)
 
 // Stats are cumulative medium counters.
@@ -57,18 +67,33 @@ type Medium struct {
 	incoming  [][]*reception  // per node: receptions in progress
 	nodeSent  []uint64        // per node: bytes transmitted
 	nodeCount []uint64        // per node: frames transmitted
+	txPool    []*transmission // recycled transmission records
 	stats     Stats
 	meter     *energy.Meter
 	lossRate  float64
 	lossRand  *rng.Stream
 }
 
+// reception is one neighbor's view of a frame in flight. Receptions live
+// inline in their transmission's recs slice; incoming lists hold pointers
+// into it, which stay valid because recs is sized up front and never grown
+// while pointers are outstanding.
 type reception struct {
+	nb topology.NodeID // the observer
+	ok bool
+}
+
+// transmission is one frame in flight: the shared fields of all its
+// receptions plus the single end-of-air event closure. The closure is built
+// once per pooled record and captures the record itself, so a recycled
+// transmission schedules its completion without allocating.
+type transmission struct {
 	src   topology.NodeID
 	dst   topology.NodeID
 	frame []byte
 	size  int
-	ok    bool
+	recs  []reception
+	fire  func()
 }
 
 // New creates a medium over net driven by sim at the given data rate.
@@ -141,10 +166,28 @@ func (m *Medium) Busy(id topology.NodeID) bool {
 	return len(m.incoming[id]) > 0
 }
 
+// getTx pops a transmission record from the pool, building the completion
+// closure only on first allocation.
+func (m *Medium) getTx() *transmission {
+	if n := len(m.txPool); n > 0 {
+		tx := m.txPool[n-1]
+		m.txPool[n-1] = nil
+		m.txPool = m.txPool[:n-1]
+		return tx
+	}
+	tx := &transmission{}
+	tx.fire = func() { m.finish(tx) }
+	return tx
+}
+
 // Transmit puts a frame on the air from src. size is the on-air length in
 // bytes (including physical overhead); dst is a node ID or
 // packet.Broadcast. Delivery outcomes are resolved when the transmission
 // ends. Transmitting while already transmitting is a MAC bug and panics.
+//
+// Exactly one simulation event is scheduled per call, regardless of the
+// sender's degree: all receptions end at the same instant and are resolved
+// by the same event in neighbor order.
 func (m *Medium) Transmit(src topology.NodeID, dst int32, frame []byte, size int) {
 	now := m.sim.Now()
 	if m.txUntil[src] > now {
@@ -166,8 +209,20 @@ func (m *Medium) Transmit(src topology.NodeID, dst int32, frame []byte, size int
 		rec.ok = false
 	}
 
-	for _, nb := range m.net.Neighbors(src) {
-		rec := &reception{src: src, dst: topology.NodeID(dst), frame: frame, size: size, ok: true}
+	nbs := m.net.Neighbors(src)
+	tx := m.getTx()
+	tx.src, tx.dst, tx.frame, tx.size = src, topology.NodeID(dst), frame, size
+	// Size recs before taking pointers into it: incoming lists alias the
+	// slice's elements, so it must not grow until the frame resolves.
+	if cap(tx.recs) < len(nbs) {
+		tx.recs = make([]reception, len(nbs))
+	} else {
+		tx.recs = tx.recs[:len(nbs)]
+	}
+	for i, nb := range nbs {
+		rec := &tx.recs[i]
+		rec.nb = nb
+		rec.ok = true
 		if m.lossRate > 0 && m.lossRand.Bool(m.lossRate) {
 			rec.ok = false
 		}
@@ -183,44 +238,51 @@ func (m *Medium) Transmit(src topology.NodeID, dst int32, frame []byte, size int
 			}
 		}
 		m.incoming[nb] = append(m.incoming[nb], rec)
-		nb := nb
-		m.sim.At(now+dur, func() { m.finish(nb, rec) })
 	}
+	m.sim.At(now+dur, tx.fire)
 }
 
-// finish resolves one reception at node nb.
-func (m *Medium) finish(nb topology.NodeID, rec *reception) {
-	// Remove rec from the active set.
-	active := m.incoming[nb]
-	for i, r := range active {
-		if r == rec {
-			active[i] = active[len(active)-1]
-			m.incoming[nb] = active[:len(active)-1]
-			break
+// finish resolves every reception of one transmission, in neighbor order —
+// the same order per-neighbor events fired in when each reception had its
+// own event, so event-level determinism is unchanged.
+func (m *Medium) finish(tx *transmission) {
+	for i := range tx.recs {
+		rec := &tx.recs[i]
+		nb := rec.nb
+		// Remove rec from the active set.
+		active := m.incoming[nb]
+		for j, r := range active {
+			if r == rec {
+				active[j] = active[len(active)-1]
+				m.incoming[nb] = active[:len(active)-1]
+				break
+			}
 		}
-	}
-	// If the receiver is mid-transmission at the end of the frame it also
-	// cannot have decoded it.
-	if m.txUntil[nb] > m.sim.Now() {
-		rec.ok = false
-	}
-	if m.meter != nil {
-		m.meter.ChargeRx(nb, rec.size)
-	}
-	addressed := rec.dst == topology.NodeID(packet.Broadcast) || rec.dst == nb
-	for _, tap := range m.taps {
-		tap(nb, rec.src, rec.dst, rec.frame, !rec.ok)
-	}
-	if !rec.ok {
+		// If the receiver is mid-transmission at the end of the frame it
+		// also cannot have decoded it.
+		if m.txUntil[nb] > m.sim.Now() {
+			rec.ok = false
+		}
+		if m.meter != nil {
+			m.meter.ChargeRx(nb, tx.size)
+		}
+		addressed := tx.dst == topology.NodeID(packet.Broadcast) || tx.dst == nb
+		for _, tap := range m.taps {
+			tap(nb, tx.src, tx.dst, tx.frame, !rec.ok)
+		}
+		if !rec.ok {
+			if addressed {
+				m.stats.FramesCollided++
+			}
+			continue
+		}
 		if addressed {
-			m.stats.FramesCollided++
-		}
-		return
-	}
-	if addressed {
-		m.stats.FramesDelivered++
-		if h := m.receiver[nb]; h != nil {
-			h(nb, rec.frame)
+			m.stats.FramesDelivered++
+			if h := m.receiver[nb]; h != nil {
+				h(nb, tx.frame)
+			}
 		}
 	}
+	tx.frame = nil // do not pin the sender's buffer while pooled
+	m.txPool = append(m.txPool, tx)
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/ipda-sim/ipda/internal/experiments"
+	"github.com/ipda-sim/ipda/internal/obs"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics  = flag.String("metrics", "", "write a Prometheus text-format snapshot of harness metrics to this file at exit")
 	)
 	flag.Parse()
 
@@ -84,6 +86,13 @@ func main() {
 	}
 
 	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	// Progress reporting and -metrics both read the instrumentation
+	// registry; experiment tables stay byte-identical either way.
+	var sink *obs.Sink
+	if *progress || *metrics != "" {
+		sink = obs.NewSink()
+		opts.Obs = sink
+	}
 	if *sizes != "" {
 		for _, part := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -99,6 +108,7 @@ func main() {
 	if *exp == "all" {
 		names = experiments.Names()
 	}
+	reported := map[string]bool{}
 	for _, name := range names {
 		start := time.Now()
 		o := opts
@@ -116,6 +126,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ipda-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *progress && sink != nil {
+			reportSweeps(sink, reported)
+		}
 		switch *format {
 		case "csv":
 			if err := table.WriteCSV(os.Stdout); err != nil {
@@ -129,5 +142,49 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ipda-bench: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+	}
+
+	if *metrics != "" && sink != nil {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sink.Reg.WriteProm(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// reportSweeps prints the wall-clock and throughput gauges the harness
+// recorded for each sweep not yet reported. An experiment may run several
+// sweeps (one per curve); each gets its own line.
+func reportSweeps(sink *obs.Sink, reported map[string]bool) {
+	elapsed := map[string]float64{}
+	rate := map[string]float64{}
+	var order []string
+	for _, s := range sink.Reg.Snapshot() {
+		if len(s.Labels) != 1 || s.Labels[0].Name != "sweep" {
+			continue
+		}
+		sweep := s.Labels[0].Value
+		switch s.Name {
+		case "ipda_harness_sweep_elapsed_seconds":
+			if !reported[sweep] {
+				order = append(order, sweep)
+			}
+			elapsed[sweep] = s.Value
+		case "ipda_harness_sweep_trials_per_second":
+			rate[sweep] = s.Value
+		}
+	}
+	for _, sweep := range order {
+		reported[sweep] = true
+		fmt.Fprintf(os.Stderr, "%s: %.2fs wall, %.1f trials/s\n", sweep, elapsed[sweep], rate[sweep])
 	}
 }

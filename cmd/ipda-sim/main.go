@@ -9,11 +9,15 @@
 //	ipda-sim -nodes 400 -pollute 17 -delta 500
 //	ipda-sim -nodes 400 -eavesdrop 0.1        # measure disclosure
 //	ipda-sim -nodes 400 -compare              # also run the TAG baseline
+//	ipda-sim -nodes 400 -metrics out.prom     # Prometheus metric snapshot
+//	ipda-sim -nodes 400 -spans round.trace.json  # Perfetto phase spans
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"github.com/ipda-sim/ipda"
@@ -22,20 +26,24 @@ import (
 
 func main() {
 	var (
-		nodes     = flag.Int("nodes", 400, "number of sensor nodes")
-		field     = flag.Float64("field", 400, "field side in meters")
-		radio     = flag.Float64("range", 50, "radio range in meters")
-		slices    = flag.Int("l", 2, "slices per tree (l)")
-		threshold = flag.Int64("th", 5, "integrity threshold Th")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		query     = flag.String("query", "count", "count | sum | average | variance | min | max")
-		lo        = flag.Int64("lo", 1, "reading range low (sum-family queries)")
-		hi        = flag.Int64("hi", 100, "reading range high")
-		pollute   = flag.Int("pollute", 0, "node ID to turn into a polluter (0 = none)")
-		delta     = flag.Int64("delta", 1000, "pollution delta")
-		eavesdrop = flag.Float64("eavesdrop", -1, "per-link compromise probability (-1 = off)")
-		compare   = flag.Bool("compare", false, "also run the TAG baseline")
-		traceFile = flag.String("trace", "", "write a JSON-lines protocol timeline to this file")
+		nodes       = flag.Int("nodes", 400, "number of sensor nodes")
+		field       = flag.Float64("field", 400, "field side in meters")
+		radio       = flag.Float64("range", 50, "radio range in meters")
+		slices      = flag.Int("l", 2, "slices per tree (l)")
+		threshold   = flag.Int64("th", 5, "integrity threshold Th")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		query       = flag.String("query", "count", "count | sum | average | variance | min | max")
+		lo          = flag.Int64("lo", 1, "reading range low (sum-family queries)")
+		hi          = flag.Int64("hi", 100, "reading range high")
+		pollute     = flag.Int("pollute", 0, "node ID to turn into a polluter (0 = none)")
+		delta       = flag.Int64("delta", 1000, "pollution delta")
+		eavesdrop   = flag.Float64("eavesdrop", -1, "per-link compromise probability (-1 = off)")
+		compare     = flag.Bool("compare", false, "also run the TAG baseline")
+		traceFile   = flag.String("trace", "", "write a JSON-lines protocol timeline to this file")
+		traceRing   = flag.Bool("trace-ring", false, "capture the trace as a ring buffer (keep the last events instead of the first)")
+		metricsFile = flag.String("metrics", "", "write a Prometheus text-format metric snapshot to this file")
+		metricsAddr = flag.String("metrics-addr", "", "after the run, serve the metric snapshot on this address (e.g. :9090) until interrupted")
+		spansFile   = flag.String("spans", "", "write protocol phase spans as Chrome trace-event JSON (load in ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,7 @@ func main() {
 	cfg.Slices = *slices
 	cfg.Threshold = *threshold
 	cfg.Seed = *seed
+	cfg.Observe = *metricsFile != "" || *metricsAddr != "" || *spansFile != ""
 
 	net, err := ipda.Deploy(cfg)
 	if err != nil {
@@ -56,7 +65,11 @@ func main() {
 
 	var tr *ipda.Trace
 	if *traceFile != "" {
-		tr = net.EnableTrace(1 << 20)
+		if *traceRing {
+			tr = net.EnableRingTrace(1 << 20)
+		} else {
+			tr = net.EnableTrace(1 << 20)
+		}
 	}
 	var eav *ipda.Eavesdropper
 	if *eavesdrop >= 0 {
@@ -123,6 +136,53 @@ func main() {
 		}
 		fmt.Printf("TAG:        value %.4g, %d bytes (iPDA/TAG byte ratio %.2f, analytic msg ratio %.2f)\n",
 			tres.Value, tres.Bytes, float64(res.Bytes)/float64(tres.Bytes), ipda.OverheadRatio(*slices))
+	}
+
+	if o := net.Obs(); o != nil {
+		if *metricsFile != "" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fail(err)
+			}
+			if err := o.WritePrometheus(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("metrics:    snapshot written to %s\n", *metricsFile)
+		}
+		if *spansFile != "" {
+			f, err := os.Create(*spansFile)
+			if err != nil {
+				fail(err)
+			}
+			if err := o.WriteChromeTrace(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("spans:      %d spans written to %s (%d dropped); load in ui.perfetto.dev\n",
+				o.Spans(), *spansFile, o.DroppedSpans())
+		}
+		if *metricsAddr != "" {
+			// The registry is not safe for concurrent use, so render the
+			// snapshot once, after the run, and serve the frozen bytes.
+			var buf bytes.Buffer
+			if err := o.WritePrometheus(&buf); err != nil {
+				fail(err)
+			}
+			snapshot := buf.Bytes()
+			http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+				w.Write(snapshot)
+			})
+			fmt.Printf("metrics:    serving final snapshot on http://%s/metrics (ctrl-c to stop)\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fail(err)
+			}
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 		os.Exit(1)
 	}
 	s := trace.Summarize(log)
+	fmt.Printf("capture:     %s mode\n", log.Mode())
 	fmt.Printf("events:      %d (%d dropped at capture)\n", s.Events, s.Dropped)
 	fmt.Printf("span:        %.3fs .. %.3fs (%.3fs)\n", s.First, s.Last, s.Last-s.First)
 	fmt.Printf("collisions:  %d\n", s.Collisions)

@@ -24,9 +24,11 @@ import (
 	"fmt"
 
 	"github.com/ipda-sim/ipda/internal/aggregate"
+	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -78,6 +80,11 @@ type Config struct {
 	// top of the collision model; the ARQ recovers unicast losses, so
 	// moderate fading costs retries rather than data.
 	LossRate float64
+	// Obs is the optional instrumentation sink, threaded through the
+	// whole stack (radio, MAC, trees, energy, and the protocol phases).
+	// Nil disables instrumentation; observing never alters a run's
+	// protocol behavior or its results.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the paper's recommended parameters: l = 2, Th = 5,
@@ -140,6 +147,7 @@ type Instance struct {
 	polluters map[topology.NodeID]int64
 	dead      []bool
 	ciphers   *linksec.CipherCache // per-link sealing state over Keys
+	obs       *coreObs
 
 	// Per-round mutable state, reset by runAdditiveRound.
 	assembled  []assemblerPair
@@ -147,6 +155,32 @@ type Instance struct {
 	childCount []uint32
 	bsChild    map[packet.Color]*bsAccum
 	onQuery    func(self topology.NodeID)
+}
+
+// coreObs holds the protocol engine's pre-resolved instrument handles;
+// nil disables instrumentation for one pointer check per site.
+type coreObs struct {
+	slicesSent      obs.Counter
+	slicesLocal     obs.Counter
+	slicesAssembled obs.Counter
+	slicesRejected  obs.Counter
+	aggregatesSent  obs.Counter
+	roundsAccepted  obs.Counter
+	roundsRejected  obs.Counter
+}
+
+func newCoreObs(reg *obs.Registry) *coreObs {
+	return &coreObs{
+		slicesSent:      reg.Counter("ipda_core_slices_sent_total", "encrypted Phase II slices put on the air"),
+		slicesLocal:     reg.Counter("ipda_core_slices_local_total", "Phase II shares an aggregator kept for itself"),
+		slicesAssembled: reg.Counter("ipda_core_slices_assembled_total", "slices decrypted and folded by assemblers"),
+		slicesRejected:  reg.Counter("ipda_core_slices_rejected_total", "slices dropped by authentication failure"),
+		aggregatesSent:  reg.Counter("ipda_core_aggregates_sent_total", "Phase III partial sums sent to tree parents"),
+		roundsAccepted: reg.Counter("ipda_core_rounds_total", "base-station verification outcomes",
+			obs.Label{Name: "verdict", Value: "accepted"}),
+		roundsRejected: reg.Counter("ipda_core_rounds_total", "base-station verification outcomes",
+			obs.Label{Name: "verdict", Value: "rejected"}),
+	}
 }
 
 // bsAccum accumulates Phase III arrivals at the base station per tree.
@@ -173,9 +207,21 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 		medium.SetLoss(cfg.LossRate, root.Split(4))
 	}
 	m := mac.New(sim, medium, net.N(), cfg.MAC, root.Split(1))
+	if cfg.Obs != nil {
+		// Attach instrumentation before Phase I so tree construction is
+		// observed too. A default energy meter feeds the per-component
+		// joule counters; meters only read traffic, never shape it.
+		medium.SetObs(cfg.Obs)
+		m.SetObs(cfg.Obs)
+		if meter, err := energy.NewMeter(net.N(), energy.DefaultModel()); err == nil {
+			meter.SetObs(cfg.Obs)
+			medium.SetMeter(meter)
+		}
+	}
 	treeCfg := cfg.Tree
 	treeCfg.Disabled = cfg.Disabled
 	treeCfg.ExtraRoots = cfg.ExtraRoots
+	treeCfg.Obs = cfg.Obs
 	trees, err := tree.BuildDisjoint(sim, medium, m, net, treeCfg, root.Split(2))
 	if err != nil {
 		return nil, err
@@ -198,6 +244,9 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 		rand:      root.Split(3),
 		polluters: make(map[topology.NodeID]int64),
 		ciphers:   linksec.NewCipherCache(keys),
+	}
+	if cfg.Obs != nil && cfg.Obs.Reg != nil {
+		inst.obs = newCoreObs(cfg.Obs.Reg)
 	}
 	return inst, nil
 }
@@ -324,8 +373,18 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 		}
 		out := in.runAdditiveRound(contribs)
 		res.Outcomes = append(res.Outcomes, out)
-		if out.Diff() > in.Cfg.Threshold {
+		accepted := out.Diff() <= in.Cfg.Threshold
+		if !accepted {
 			res.Accepted = false
+		}
+		if in.obs != nil {
+			if accepted {
+				in.obs.roundsAccepted.Inc()
+				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:accepted", float64(in.Sim.Now()), uint32(in.round))
+			} else {
+				in.obs.roundsRejected.Inc()
+				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:rejected", float64(in.Sim.Now()), uint32(in.round))
+			}
 		}
 		if round < valueRounds {
 			sums[round] = out.Red
@@ -422,6 +481,12 @@ func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
 		}
 		delete(plans, id) // start at most once
 		participants++
+		if in.Cfg.Obs != nil {
+			// The node's slicing window has a statically known extent, so
+			// the span is recorded up front instead of via an end event
+			// that would perturb the simulation's event sequence.
+			in.Cfg.Obs.Span(int32(id), "phase2:slicing", float64(at), float64(at+in.Cfg.SliceWindow), uint32(round))
+		}
 		in.scheduleSlices(at, round, id, packet.Red, p.targets.Red, p.red)
 		in.scheduleSlices(at, round, id, packet.Blue, p.targets.Blue, p.blue)
 	}
@@ -455,6 +520,15 @@ func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
 	}
 
 	deadline := t1 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
+	if in.Cfg.Obs != nil {
+		r := uint32(round)
+		in.Cfg.Obs.Span(obs.TrackGlobal, "round", float64(t0), float64(deadline), r)
+		if in.Cfg.DisseminateQuery {
+			in.Cfg.Obs.Span(obs.TrackGlobal, "phase2:query-dissemination", float64(t0), float64(t0+floodBudget), r)
+		}
+		in.Cfg.Obs.Span(obs.TrackGlobal, "phase2:report-and-assemble", float64(t0+floodBudget), float64(t1), r)
+		in.Cfg.Obs.Span(obs.TrackGlobal, "phase3:tree-aggregation", float64(t1), float64(deadline), r)
+	}
 	in.Sim.Run(deadline)
 
 	// Fuse collections across every base station: slices addressed to a
@@ -527,6 +601,9 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 		if dst == src {
 			// The local share never touches the air (Section III-C.1).
 			in.addShare(src, color, src, shares[idx])
+			if in.obs != nil {
+				in.obs.slicesLocal.Inc()
+			}
 			if in.OnLocalShare != nil {
 				in.OnLocalShare(src, color, shares[idx])
 			}
@@ -548,7 +625,12 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 			Color:  color,
 		}
 		offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
-		in.Sim.At(t0+offset, func() { in.MAC.Send(src, p) })
+		in.Sim.At(t0+offset, func() {
+			in.MAC.Send(src, p)
+			if in.obs != nil {
+				in.obs.slicesSent.Inc()
+			}
+		})
 	}
 }
 
@@ -597,9 +679,15 @@ func (in *Instance) onSlice(self topology.NodeID, p *packet.Packet) {
 	}
 	share, err := cipher.Open(linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
 	if err != nil {
+		if in.obs != nil {
+			in.obs.slicesRejected.Inc()
+		}
 		return // forged or corrupted; drop
 	}
 	in.addShare(self, p.Color, topology.NodeID(p.Src), share)
+	if in.obs != nil {
+		in.obs.slicesAssembled.Inc()
+	}
 }
 
 func (in *Instance) onAggregate(self topology.NodeID, p *packet.Packet) {
@@ -653,4 +741,8 @@ func (in *Instance) sendAggregate(round uint16, id topology.NodeID) {
 		Count:  in.childCount[id] + 1,
 		Color:  color,
 	})
+	if in.obs != nil {
+		in.obs.aggregatesSent.Inc()
+		in.Cfg.Obs.Instant(int32(id), "aggregate:sent", float64(in.Sim.Now()), uint32(round))
+	}
 }

@@ -2,11 +2,13 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/ipda-sim/ipda/internal/aggregate"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 	"github.com/ipda-sim/ipda/internal/tree"
@@ -778,5 +780,59 @@ func TestDeterministicRun(t *testing.T) {
 	r2, b2 := run()
 	if r1 != r2 || b1 != b2 {
 		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", r1, b1, r2, b2)
+	}
+}
+
+// TestObsDoesNotPerturbRun is the determinism contract of the
+// instrumentation layer: attaching a sink must leave every protocol
+// outcome bit-identical to the uninstrumented run.
+func TestObsDoesNotPerturbRun(t *testing.T) {
+	run := func(sink *obs.Sink) *Result {
+		net, err := topology.Random(topology.PaperConfig(250), rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Obs = sink
+		inst, err := New(net, cfg, 88)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readings := make([]int64, net.N())
+		r := rng.New(5)
+		for i := 1; i < len(readings); i++ {
+			readings[i] = int64(r.Intn(50))
+		}
+		res, err := inst.RunSum(readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	sink := obs.NewSink()
+	observed := run(sink)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("instrumentation changed the run:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+	if sink.Spans.Len() == 0 {
+		t.Fatal("observed run recorded no spans")
+	}
+	if len(sink.Reg.Snapshot()) == 0 {
+		t.Fatal("observed run recorded no metrics")
+	}
+	// The recorded spans must include the nested tree-construction and
+	// per-node slicing phases the trace viewer shows.
+	names := map[string]bool{}
+	for _, ev := range sink.Spans.Events() {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{
+		"phase1:tree-construction", "phase1:red-flood", "phase1:blue-flood",
+		"phase2:slicing", "phase3:tree-aggregation", "round",
+	} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
 	}
 }

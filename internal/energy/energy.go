@@ -14,6 +14,7 @@ package energy
 import (
 	"fmt"
 
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
 
@@ -50,6 +51,29 @@ func (m Model) Validate() error {
 type Meter struct {
 	model Model
 	spent []float64
+	obs   *meterObs
+}
+
+// meterObs holds the meter's pre-resolved per-component joule counters;
+// nil disables instrumentation for one pointer check per charge.
+type meterObs struct {
+	tx, rx, idle obs.Counter
+}
+
+// SetObs attaches an instrumentation sink: every charge also feeds a
+// network-wide joules counter labeled by radio component.
+func (m *Meter) SetObs(sink *obs.Sink) {
+	if sink == nil || sink.Reg == nil {
+		m.obs = nil
+		return
+	}
+	const name = "ipda_energy_joules_total"
+	const help = "network-wide radio energy consumed, by component"
+	m.obs = &meterObs{
+		tx:   sink.Reg.Counter(name, help, obs.Label{Name: "component", Value: "tx"}),
+		rx:   sink.Reg.Counter(name, help, obs.Label{Name: "component", Value: "rx"}),
+		idle: sink.Reg.Counter(name, help, obs.Label{Name: "component", Value: "idle"}),
+	}
 }
 
 // NewMeter creates a meter for n nodes.
@@ -62,12 +86,20 @@ func NewMeter(n int, model Model) (*Meter, error) {
 
 // ChargeTx charges node id for transmitting size bytes.
 func (m *Meter) ChargeTx(id topology.NodeID, size int) {
-	m.spent[id] += float64(size) * m.model.TxPerByte
+	cost := float64(size) * m.model.TxPerByte
+	m.spent[id] += cost
+	if m.obs != nil {
+		m.obs.tx.Add(cost)
+	}
 }
 
 // ChargeRx charges node id for receiving size bytes.
 func (m *Meter) ChargeRx(id topology.NodeID, size int) {
-	m.spent[id] += float64(size) * m.model.RxPerByte
+	cost := float64(size) * m.model.RxPerByte
+	m.spent[id] += cost
+	if m.obs != nil {
+		m.obs.rx.Add(cost)
+	}
 }
 
 // ChargeIdle charges every node for dt seconds of duty-cycled listening.
@@ -75,6 +107,9 @@ func (m *Meter) ChargeIdle(dt float64) {
 	cost := dt * m.model.IdlePerSec
 	for i := range m.spent {
 		m.spent[i] += cost
+	}
+	if m.obs != nil {
+		m.obs.idle.Add(cost * float64(len(m.spent)))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/ipda-sim/ipda/internal/harness"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
@@ -38,6 +39,11 @@ type Options struct {
 	// Progress, when non-nil, receives (trialsDone, trialsTotal) after
 	// each completed trial of each sweep the experiment runs.
 	Progress func(done, total int)
+	// Obs, when non-nil, collects harness throughput metrics for every
+	// sweep the experiment runs (see harness.Sweep.Obs). Metric values
+	// never enter the Table output, so tables stay byte-identical with
+	// and without a sink.
+	Obs *obs.Sink
 }
 
 func (o Options) sizes() []int {
@@ -65,6 +71,7 @@ func (o Options) sweep(id string, points, def int) harness.Sweep {
 		Trials:   o.trials(def),
 		Workers:  o.Workers,
 		Progress: o.Progress,
+		Obs:      o.Obs,
 	}
 }
 

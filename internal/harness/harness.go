@@ -31,8 +31,11 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
+	"time"
 
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/rng"
 )
 
@@ -55,6 +58,12 @@ type Sweep struct {
 	// with the number of trials finished so far and the grid total.
 	// Calls are serialized but arrive in completion order.
 	Progress func(done, total int)
+	// Obs, when non-nil, receives per-point completed-trial counters
+	// while the sweep runs (updates serialized under the sweep's own
+	// lock) and, once the sweep finishes, wall-clock elapsed and
+	// trials/sec gauges. Wall-clock never reaches experiment tables, so
+	// the determinism contract is unaffected.
+	Obs *obs.Sink
 }
 
 // T is the execution context handed to one trial.
@@ -93,6 +102,23 @@ func (s Sweep) Run(trial func(t *T) error) error {
 	defer cancel()
 	root := rng.New(s.Seed).SplitString(s.ID)
 
+	// Resolve per-point instrument handles before the workers start; the
+	// registry is not thread-safe, so workers only touch the dense
+	// handles (and only under mu).
+	var trialCounters []obs.Counter
+	var startWall time.Time
+	observing := s.Obs != nil && s.Obs.Reg != nil
+	if observing {
+		trialCounters = make([]obs.Counter, s.Points)
+		sweepLabel := obs.Label{Name: "sweep", Value: s.ID}
+		for p := 0; p < s.Points; p++ {
+			trialCounters[p] = s.Obs.Reg.Counter("ipda_harness_trials_total",
+				"completed trials per sweep point",
+				sweepLabel, obs.Label{Name: "point", Value: strconv.Itoa(p)})
+		}
+		startWall = time.Now()
+	}
+
 	var (
 		mu      sync.Mutex
 		done    int
@@ -127,6 +153,9 @@ func (s Sweep) Run(trial func(t *T) error) error {
 					continue
 				}
 				done++
+				if trialCounters != nil {
+					trialCounters[point].Inc()
+				}
 				if s.Progress != nil {
 					s.Progress(done, total)
 				}
@@ -139,6 +168,16 @@ func (s Sweep) Run(trial func(t *T) error) error {
 	}
 	close(next)
 	wg.Wait()
+	if observing {
+		sweepLabel := obs.Label{Name: "sweep", Value: s.ID}
+		elapsed := time.Since(startWall).Seconds()
+		s.Obs.Reg.Gauge("ipda_harness_sweep_elapsed_seconds",
+			"wall-clock duration of the sweep", sweepLabel).Set(elapsed)
+		if elapsed > 0 {
+			s.Obs.Reg.Gauge("ipda_harness_sweep_trials_per_second",
+				"completed-trial throughput of the sweep", sweepLabel).Set(float64(done) / elapsed)
+		}
+	}
 	return failErr
 }
 

@@ -14,6 +14,7 @@ package mac
 
 import (
 	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -86,6 +87,7 @@ type MAC struct {
 	acked    []bool
 	lastSeq  map[pairKey]uint16
 	stats    Stats
+	obs      *macObs
 
 	// Reusable frame buffers: one data buffer and one ACK buffer per node.
 	// A node's previous frame is fully resolved by the medium before it can
@@ -135,6 +137,38 @@ func New(sim *eventsim.Sim, medium *radio.Medium, n int, cfg Config, rand *rng.S
 // SetHandler installs the upward delivery callback for a node.
 func (m *MAC) SetHandler(id topology.NodeID, h Handler) { m.handlers[id] = h }
 
+// macObs holds the MAC's pre-resolved instrument handles; nil disables
+// instrumentation for one pointer check per event.
+type macObs struct {
+	enqueued   obs.Counter
+	sent       obs.Counter
+	dropped    obs.Counter
+	backoffs   obs.Counter
+	retries    obs.Counter
+	acksSent   obs.Counter
+	duplicates obs.Counter
+	queueLen   obs.Histogram
+}
+
+// SetObs attaches an instrumentation sink; instruments resolve once here.
+func (m *MAC) SetObs(sink *obs.Sink) {
+	if sink == nil || sink.Reg == nil {
+		m.obs = nil
+		return
+	}
+	m.obs = &macObs{
+		enqueued:   sink.Reg.Counter("ipda_mac_enqueued_total", "frames handed to the MAC"),
+		sent:       sink.Reg.Counter("ipda_mac_sent_total", "data transmissions put on the air (incl. retransmissions)"),
+		dropped:    sink.Reg.Counter("ipda_mac_dropped_total", "frames abandoned after MaxAttempts or RetryLimit"),
+		backoffs:   sink.Reg.Counter("ipda_mac_backoffs_total", "busy senses that led to backoff"),
+		retries:    sink.Reg.Counter("ipda_mac_retries_total", "unicast retransmissions"),
+		acksSent:   sink.Reg.Counter("ipda_mac_acks_sent_total", "link-layer acknowledgements transmitted"),
+		duplicates: sink.Reg.Counter("ipda_mac_duplicates_total", "retransmissions suppressed at receivers"),
+		queueLen: sink.Reg.Histogram("ipda_mac_queue_depth", "per-node queue depth observed at enqueue",
+			[]float64{0, 1, 2, 4, 8, 16, 32}),
+	}
+}
+
 // Stats returns cumulative counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
@@ -147,6 +181,10 @@ func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.queues[id]) }
 // packet from here on and assigns its Seq.
 func (m *MAC) Send(src topology.NodeID, pkt *packet.Packet) {
 	m.stats.Enqueued++
+	if m.obs != nil {
+		m.obs.enqueued.Inc()
+		m.obs.queueLen.Observe(float64(len(m.queues[src])))
+	}
 	m.seq[src]++
 	pkt.Seq = m.seq[src]
 	m.queues[src] = append(m.queues[src], &frameState{pkt: pkt})
@@ -175,8 +213,14 @@ func (m *MAC) attempt(src topology.NodeID, attempt int) {
 	}
 	if m.medium.Busy(src) {
 		m.stats.Deferred++
+		if m.obs != nil {
+			m.obs.backoffs.Inc()
+		}
 		if attempt+1 >= m.cfg.MaxAttempts {
 			m.stats.Dropped++
+			if m.obs != nil {
+				m.obs.dropped.Inc()
+			}
 			m.dequeue(src)
 			return
 		}
@@ -188,6 +232,9 @@ func (m *MAC) attempt(src topology.NodeID, attempt int) {
 	size := f.pkt.Size()
 	m.medium.Transmit(src, f.pkt.Dst, m.txbuf[src], size)
 	m.stats.Sent++
+	if m.obs != nil {
+		m.obs.sent.Inc()
+	}
 	air := m.medium.Duration(size)
 	if f.pkt.Dst == packet.Broadcast {
 		m.sim.After(air, func() { m.dequeue(src) })
@@ -211,10 +258,16 @@ func (m *MAC) checkAck(src topology.NodeID, f *frameState) {
 	f.retries++
 	if f.retries > m.cfg.RetryLimit {
 		m.stats.Dropped++
+		if m.obs != nil {
+			m.obs.dropped.Inc()
+		}
 		m.dequeue(src)
 		return
 	}
 	m.stats.Retries++
+	if m.obs != nil {
+		m.obs.retries.Inc()
+	}
 	backoff := f.retries
 	if backoff > 5 {
 		backoff = 5
@@ -269,10 +322,16 @@ func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
 			m.ackbuf[self] = ack.AppendEncode(m.ackbuf[self][:0])
 			m.medium.Transmit(self, ack.Dst, m.ackbuf[self], ack.Size())
 			m.stats.AcksSent++
+			if m.obs != nil {
+				m.obs.acksSent.Inc()
+			}
 		})
 		key := pairKey{topology.NodeID(p.Src), self}
 		if last, seen := m.lastSeq[key]; seen && last == p.Seq {
 			m.stats.Duplicates++
+			if m.obs != nil {
+				m.obs.duplicates.Inc()
+			}
 			return
 		}
 		m.lastSeq[key] = p.Seq

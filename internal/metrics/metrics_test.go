@@ -1,11 +1,13 @@
 package metrics
 
 import (
+	"math"
 	"testing"
 
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/tree"
 )
 
 func TestAccuracy(t *testing.T) {
@@ -23,6 +25,83 @@ func TestAccuracy(t *testing.T) {
 		if got := Accuracy(c.collected, c.truth); got != c.want {
 			t.Errorf("Accuracy(%v, %v) = %v, want %v", c.collected, c.truth, got, c.want)
 		}
+	}
+}
+
+func TestAccuracyNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name             string
+		collected, truth float64
+		want             float64
+	}{
+		{"nan collected", nan, 100, 0},
+		{"nan truth treated as nonzero", 100, nan, 0}, // 100/NaN is NaN → clamp
+		{"inf over inf", inf, inf, 0},
+		{"negative truth flips sign", 50, -100, 0},
+		{"both negative", -50, -100, 0.5},
+		{"inf collected", inf, 100, inf}, // noise can only inflate, not clamp
+	}
+	for _, c := range cases {
+		got := Accuracy(c.collected, c.truth)
+		if math.IsNaN(c.want) != math.IsNaN(got) || (!math.IsNaN(c.want) && got != c.want) {
+			t.Errorf("%s: Accuracy(%v, %v) = %v, want %v", c.name, c.collected, c.truth, got, c.want)
+		}
+	}
+}
+
+// baseOnly builds the degenerate tree state of a deployment with n nodes
+// where only the base station exists on either tree: every sensor is
+// Undecided with no audible aggregators.
+func baseOnly(n int) *tree.Result {
+	r := &tree.Result{
+		Role:          make([]tree.Role, n),
+		Parent:        make([]topology.NodeID, n),
+		Hop:           make([]uint16, n),
+		RedNeighbors:  make([][]topology.NodeID, n),
+		BlueNeighbors: make([][]topology.NodeID, n),
+	}
+	if n > 0 {
+		r.Role[0] = tree.RoleBase
+	}
+	return r
+}
+
+func TestCoverageParticipationDegenerate(t *testing.T) {
+	// n ≤ 1 must report full coverage/participation without touching the
+	// tree state at all — there are no sensors to miss.
+	for _, n := range []int{-1, 0, 1} {
+		if got := CoverageFraction(nil, n); got != 1 {
+			t.Fatalf("CoverageFraction(nil, %d) = %v, want 1", n, got)
+		}
+		if got := ParticipationFraction(nil, 2, n); got != 1 {
+			t.Fatalf("ParticipationFraction(nil, 2, %d) = %v, want 1", n, got)
+		}
+	}
+
+	// A base-station-only tree over real sensors covers nothing: every
+	// sensor is isolated from both trees.
+	r := baseOnly(5)
+	if got := CoverageFraction(r, 5); got != 0 {
+		t.Fatalf("base-only coverage = %v, want 0", got)
+	}
+	if got := ParticipationFraction(r, 2, 5); got != 0 {
+		t.Fatalf("base-only participation = %v, want 0", got)
+	}
+
+	// With the base station audible to one sensor on both colors, that
+	// sensor is covered, and participates exactly when l ≤ 1.
+	r.RedNeighbors[1] = []topology.NodeID{0}
+	r.BlueNeighbors[1] = []topology.NodeID{0}
+	if got := CoverageFraction(r, 5); got != 0.25 {
+		t.Fatalf("one-covered coverage = %v, want 0.25", got)
+	}
+	if got := ParticipationFraction(r, 1, 5); got != 0.25 {
+		t.Fatalf("participation l=1 = %v, want 0.25", got)
+	}
+	if got := ParticipationFraction(r, 2, 5); got != 0 {
+		t.Fatalf("participation l=2 = %v, want 0", got)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -55,6 +56,8 @@ type Config struct {
 	AggSlot       eventsim.Time
 	// ShareSpread bounds slice magnitudes (0 = full ring).
 	ShareSpread int64
+	// Obs is the optional instrumentation sink (see core.Config.Obs).
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns m-tree defaults matching the core protocol's.
@@ -152,7 +155,15 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 		polluters: make(map[topology.NodeID]int64),
 	}
 	in.ciphers = linksec.NewCipherCache(in.keys)
+	if cfg.Obs != nil {
+		medium.SetObs(cfg.Obs)
+		m.SetObs(cfg.Obs)
+	}
+	buildStart := float64(sim.Now())
 	in.buildTrees(root.Split(3))
+	if cfg.Obs != nil {
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:mtree-construction", buildStart, float64(sim.Now()), 0)
+	}
 	if err := in.checkDisjoint(); err != nil {
 		return nil, err
 	}
@@ -468,6 +479,9 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 		if !in.CanSlice(id) {
 			continue
 		}
+		if in.Cfg.Obs != nil {
+			in.Cfg.Obs.Span(int32(id), "phase2:slicing", float64(t0), float64(t0+in.Cfg.SliceWindow), uint32(round))
+		}
 		for t := 0; t < m; t++ {
 			targets := in.chooseTargets(id, t)
 			shares := in.split(readings[i])
@@ -511,13 +525,31 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 		jitter := eventsim.Time(in.rand.Float64()) * in.Cfg.AggSlot / 2
 		in.sim.At(t1+slot+jitter, func() { in.sendAggregate(round, id) })
 	}
-	in.sim.Run(t1 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0)
+	deadline := t1 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
+	if in.Cfg.Obs != nil {
+		r := uint32(round)
+		in.Cfg.Obs.Span(obs.TrackGlobal, "round", float64(t0), float64(deadline), r)
+		in.Cfg.Obs.Span(obs.TrackGlobal, "phase3:tree-aggregation", float64(t1), float64(deadline), r)
+	}
+	in.sim.Run(deadline)
 
 	totals := make([]int64, m)
 	for t := 0; t < m; t++ {
 		totals[t] = in.bsSum[t] + in.assembled[0][t].Total()
 	}
-	return majorityVerdict(totals, in.Cfg.Threshold), nil
+	v := majorityVerdict(totals, in.Cfg.Threshold)
+	if in.Cfg.Obs != nil && in.Cfg.Obs.Reg != nil {
+		verdict := "rejected"
+		if v.Accepted {
+			verdict = "accepted"
+		}
+		in.Cfg.Obs.Reg.Counter("ipda_mtree_rounds_total", "majority-vote verdicts",
+			obs.Label{Name: "verdict", Value: verdict}).Inc()
+		in.Cfg.Obs.Reg.Counter("ipda_mtree_outlier_trees_total",
+			"trees voted outside the majority cluster").Add(float64(len(v.Outliers)))
+		in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:"+verdict, float64(in.sim.Now()), uint32(round))
+	}
+	return v, nil
 }
 
 // chooseTargets picks the node's l slice targets on tree t (itself first

@@ -1,0 +1,205 @@
+// Prometheus text-exposition export and a minimal parser for it.
+//
+// The exporter emits format version 0.0.4 ("text/plain; version=0.0.4"):
+// one # HELP and # TYPE line per family, then one sample line per series,
+// families sorted by name and series by label values, so equal registries
+// render byte-identically. The parser accepts the subset the exporter
+// emits (plus comments and blank lines) and exists so tests and smoke
+// checks can assert "parses as Prometheus text" without a dependency.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value per the text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP string per the text format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatValue renders a sample value.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"} for a series, or "" without labels.
+// extra appends one more pair (the histogram "le" label).
+func labelString(names, values []string, extra ...Label) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(names)+len(extra))
+	for i, n := range names {
+		parts = append(parts, n+`="`+escapeLabel(values[i])+`"`)
+	}
+	for _, l := range extra {
+		parts = append(parts, l.Name+`="`+escapeLabel(l.Value)+`"`)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format. Output is deterministic: families sort by name, series by
+// label values.
+func (r *Registry) WriteProm(w io.Writer) error {
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		fam := r.families[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(fam.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, fam.typ)
+		ordered := make([]*series, len(fam.order))
+		copy(ordered, fam.order)
+		sort.Slice(ordered, func(a, b int) bool { return ordered[a].key < ordered[b].key })
+		for _, s := range ordered {
+			switch fam.typ {
+			case TypeCounter, TypeGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", name, labelString(fam.labelNames, s.labelValues), formatValue(s.val))
+			case TypeHistogram:
+				cum := uint64(0)
+				for i, b := range s.buckets {
+					cum += b
+					le := "+Inf"
+					if i < len(fam.bounds) {
+						le = formatValue(fam.bounds[i])
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+						labelString(fam.labelNames, s.labelValues, Label{Name: "le", Value: le}), cum)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", name, labelString(fam.labelNames, s.labelValues), formatValue(s.sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", name, labelString(fam.labelNames, s.labelValues), s.count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseProm parses text in the exposition format into a map from sample
+// key (metric name plus rendered label set, exactly as written) to value.
+// It understands the subset WriteProm emits — comments, blank lines, and
+// `name{labels} value` samples — and rejects anything else, which is what
+// makes it useful as a smoke check that an exported file is well-formed.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space outside braces;
+		// label values never contain unescaped spaces in our output, but
+		// scan from the end to be safe against escaped quotes.
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			return nil, fmt.Errorf("obs: line %d: no value in %q", lineNo, line)
+		}
+		key, valStr := line[:idx], line[idx+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		if err := validateSampleKey(key); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// validateSampleKey checks `name` or `name{a="b",...}` shape.
+func validateSampleKey(key string) error {
+	name := key
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		if !strings.HasSuffix(key, "}") {
+			return fmt.Errorf("unterminated label set in %q", key)
+		}
+		name = key[:i]
+		body := key[i+1 : len(key)-1]
+		if body != "" {
+			for _, pair := range splitLabelPairs(body) {
+				eq := strings.IndexByte(pair, '=')
+				if eq <= 0 || len(pair) < eq+3 || pair[eq+1] != '"' || pair[len(pair)-1] != '"' {
+					return fmt.Errorf("malformed label pair %q in %q", pair, key)
+				}
+				if !validMetricName(pair[:eq]) {
+					return fmt.Errorf("bad label name %q in %q", pair[:eq], key)
+				}
+			}
+		}
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+	return nil
+}
+
+// splitLabelPairs splits a label body on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, body[start:])
+	return out
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,177 @@
+// Span recording against the simulated clock, exported as Chrome
+// trace-event JSON so a round can be opened in Perfetto or
+// chrome://tracing.
+//
+// Spans are recorded with explicit begin/end timestamps rather than a
+// Begin()/End() pair: protocol phases in the simulator have statically
+// known extents (a slicing window is [at, at+SliceWindow] the moment it
+// is scheduled), and recording both ends up front means instrumentation
+// never has to schedule an event of its own — which would renumber the
+// event sequence and break the byte-identical-tables contract.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DefaultSpanLimit bounds a NewSink span recorder. At ~8 spans per node
+// per round this comfortably covers the paper-scale topologies (≤600
+// nodes) for many rounds while keeping worst-case memory modest.
+const DefaultSpanLimit = 1 << 18
+
+// SpanEvent is one recorded span or instant. Times are simulated
+// seconds; End == Begin marks an instant.
+type SpanEvent struct {
+	Track int32  // per-node track (node ID), or TrackGlobal
+	Name  string // phase name, e.g. "phase2:slicing"
+	Begin float64
+	End   float64
+	Round uint32 // 1-based aggregation round, 0 when not round-scoped
+}
+
+// TrackGlobal is the track for network-wide phases (tree construction,
+// whole-round extents, BS verification).
+const TrackGlobal int32 = -1
+
+// SpanRecorder accumulates span events up to a fixed limit; events past
+// the limit are counted in Dropped rather than stored, so a long run
+// degrades to "first N spans plus a drop count" instead of unbounded
+// growth. Not safe for concurrent use (same ownership rules as
+// Registry).
+type SpanRecorder struct {
+	events  []SpanEvent
+	limit   int
+	dropped uint64
+}
+
+// NewSpanRecorder returns a recorder keeping at most limit events
+// (limit <= 0 means DefaultSpanLimit).
+func NewSpanRecorder(limit int) *SpanRecorder {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &SpanRecorder{limit: limit}
+}
+
+// Span records a completed phase span on a track.
+func (r *SpanRecorder) Span(track int32, name string, begin, end float64, round uint32) {
+	if len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, SpanEvent{Track: track, Name: name, Begin: begin, End: end, Round: round})
+}
+
+// Instant records a zero-duration point event on a track.
+func (r *SpanRecorder) Instant(track int32, name string, at float64, round uint32) {
+	r.Span(track, name, at, at, round)
+}
+
+// Len returns the number of stored events.
+func (r *SpanRecorder) Len() int { return len(r.events) }
+
+// Dropped returns how many events were discarded after the limit.
+func (r *SpanRecorder) Dropped() uint64 { return r.dropped }
+
+// Events returns the stored events in recording order. The returned
+// slice is the recorder's own storage; callers must not mutate it.
+func (r *SpanRecorder) Events() []SpanEvent { return r.events }
+
+// escapeJSON writes s as a JSON string literal (our span names and
+// track labels are ASCII, but be correct regardless).
+func escapeJSON(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, c := range []byte(s) {
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// WriteChromeTrace renders the recorded events as Chrome trace-event
+// JSON (the "JSON Array Format" object variant that Perfetto and
+// chrome://tracing both load). Simulated seconds map to microseconds of
+// trace time, every track becomes a named thread under process 0, and
+// spans on the same track nest by time containment. Output is
+// deterministic: metadata sorted by track, then events in recording
+// order (the recorder is filled by a deterministic simulation).
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(s)
+	}
+
+	// Thread-name metadata: one per track, sorted, so Perfetto shows
+	// "node 7" instead of a bare tid.
+	tracks := map[int32]bool{}
+	for i := range r.events {
+		tracks[r.events[i].Track] = true
+	}
+	ids := make([]int32, 0, len(tracks))
+	for t := range tracks {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, t := range ids {
+		label := fmt.Sprintf("node %d", t)
+		if t == TrackGlobal {
+			label = "network"
+		}
+		// tid must be non-negative for the viewers; shift the global
+		// track to 0 and nodes to ID+1.
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":%s}}`,
+			tid(t), escapeJSON(label)))
+	}
+	// sort_index metadata pins the network track above the node tracks.
+	for _, t := range ids {
+		emit(fmt.Sprintf(`{"ph":"M","name":"thread_sort_index","pid":0,"tid":%d,"args":{"sort_index":%d}}`,
+			tid(t), tid(t)))
+	}
+
+	for i := range r.events {
+		ev := &r.events[i]
+		ts := ev.Begin * 1e6 // simulated seconds -> trace µs
+		args := ""
+		if ev.Round != 0 {
+			args = fmt.Sprintf(`,"args":{"round":%d}`, ev.Round)
+		}
+		if ev.End > ev.Begin {
+			emit(fmt.Sprintf(`{"ph":"X","name":%s,"pid":0,"tid":%d,"ts":%g,"dur":%g%s}`,
+				escapeJSON(ev.Name), tid(ev.Track), ts, (ev.End-ev.Begin)*1e6, args))
+		} else {
+			emit(fmt.Sprintf(`{"ph":"i","name":%s,"pid":0,"tid":%d,"ts":%g,"s":"t"%s}`,
+				escapeJSON(ev.Name), tid(ev.Track), ts, args))
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// tid maps a track to a viewer thread ID: global track 0, node n at n+1.
+func tid(track int32) int32 {
+	if track == TrackGlobal {
+		return 0
+	}
+	return track + 1
+}

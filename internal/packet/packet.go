@@ -192,6 +192,20 @@ func (p *Packet) AppendEncode(buf []byte) []byte {
 	return buf
 }
 
+// FrameKind peeks at the kind byte of an encoded frame without decoding
+// the rest, so byte-accounting instrumentation can classify traffic at
+// zero cost. Returns 0 for an empty frame or an out-of-range kind.
+func FrameKind(frame []byte) Kind {
+	if len(frame) == 0 {
+		return 0
+	}
+	k := Kind(frame[0])
+	if k < KindHello || k > KindAck {
+		return 0
+	}
+	return k
+}
+
 // Unmarshal decodes a frame produced by Marshal.
 func Unmarshal(data []byte) (*Packet, error) {
 	p := &Packet{}

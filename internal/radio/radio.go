@@ -30,6 +30,7 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -72,6 +73,45 @@ type Medium struct {
 	meter     *energy.Meter
 	lossRate  float64
 	lossRand  *rng.Stream
+	obs       *mediumObs
+}
+
+// mediumObs holds the medium's pre-resolved instrument handles, indexed
+// by packet.Kind (0 = unknown). A nil *mediumObs disables instrumentation
+// for the cost of one pointer check per frame.
+type mediumObs struct {
+	txFrames   [int(packet.KindAck) + 1]obs.Counter
+	txBytes    [int(packet.KindAck) + 1]obs.Counter
+	rxFrames   [int(packet.KindAck) + 1]obs.Counter
+	rxBytes    [int(packet.KindAck) + 1]obs.Counter
+	collFrames [int(packet.KindAck) + 1]obs.Counter
+	dropBytes  [int(packet.KindAck) + 1]obs.Counter
+}
+
+// kindLabels maps packet.Kind to its metric label value.
+var kindLabels = [int(packet.KindAck) + 1]string{
+	"unknown", "hello", "query", "slice", "aggregate", "ack",
+}
+
+// SetObs attaches an instrumentation sink. Label sets resolve to dense
+// counter handles here, once; the per-frame path then pays one nil check
+// plus array-indexed adds and stays allocation-free.
+func (m *Medium) SetObs(sink *obs.Sink) {
+	if sink == nil || sink.Reg == nil {
+		m.obs = nil
+		return
+	}
+	mo := &mediumObs{}
+	for k, label := range kindLabels {
+		kl := obs.Label{Name: "kind", Value: label}
+		mo.txFrames[k] = sink.Reg.Counter("ipda_radio_tx_frames_total", "frames put on the air", kl)
+		mo.txBytes[k] = sink.Reg.Counter("ipda_radio_tx_bytes_total", "bytes put on the air (incl. physical overhead)", kl)
+		mo.rxFrames[k] = sink.Reg.Counter("ipda_radio_rx_frames_total", "frames decoded at addressed receivers", kl)
+		mo.rxBytes[k] = sink.Reg.Counter("ipda_radio_rx_bytes_total", "bytes decoded at addressed receivers", kl)
+		mo.collFrames[k] = sink.Reg.Counter("ipda_radio_collision_frames_total", "addressed receptions lost to collisions, fading, or half-duplex", kl)
+		mo.dropBytes[k] = sink.Reg.Counter("ipda_radio_drop_bytes_total", "bytes of addressed receptions lost in the air", kl)
+	}
+	m.obs = mo
 }
 
 // reception is one neighbor's view of a frame in flight. Receptions live
@@ -202,6 +242,11 @@ func (m *Medium) Transmit(src topology.NodeID, dst int32, frame []byte, size int
 	if m.meter != nil {
 		m.meter.ChargeTx(src, size)
 	}
+	if m.obs != nil {
+		k := packet.FrameKind(frame)
+		m.obs.txFrames[k].Inc()
+		m.obs.txBytes[k].Add(float64(size))
+	}
 
 	// A node that starts transmitting corrupts any reception in progress
 	// at itself (half-duplex).
@@ -273,11 +318,21 @@ func (m *Medium) finish(tx *transmission) {
 		if !rec.ok {
 			if addressed {
 				m.stats.FramesCollided++
+				if m.obs != nil {
+					k := packet.FrameKind(tx.frame)
+					m.obs.collFrames[k].Inc()
+					m.obs.dropBytes[k].Add(float64(tx.size))
+				}
 			}
 			continue
 		}
 		if addressed {
 			m.stats.FramesDelivered++
+			if m.obs != nil {
+				k := packet.FrameKind(tx.frame)
+				m.obs.rxFrames[k].Inc()
+				m.obs.rxBytes[k].Add(float64(tx.size))
+			}
 			if h := m.receiver[nb]; h != nil {
 				h(nb, tx.frame)
 			}

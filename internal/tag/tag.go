@@ -15,6 +15,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/aggregate"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -29,6 +30,8 @@ type Config struct {
 	TreeDeadline eventsim.Time
 	// AggSlot is the per-hop transmission slot of the aggregation epoch.
 	AggSlot eventsim.Time
+	// Obs is the optional instrumentation sink (see core.Config.Obs).
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns parameters matched to the iPDA defaults so byte
@@ -63,7 +66,15 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 	sim := eventsim.New()
 	medium := radio.New(sim, net, radio.PaperRate)
 	m := mac.New(sim, medium, net.N(), cfg.MAC, root.Split(1))
+	if cfg.Obs != nil {
+		medium.SetObs(cfg.Obs)
+		m.SetObs(cfg.Obs)
+	}
+	buildStart := float64(sim.Now())
 	tr := tree.BuildTAG(sim, medium, m, net, cfg.TreeDeadline)
+	if cfg.Obs != nil {
+		cfg.Obs.Span(obs.TrackGlobal, "tag:tree-construction", buildStart, float64(sim.Now()), 0)
+	}
 	return &Instance{
 		Net:    net,
 		Cfg:    cfg,
@@ -215,6 +226,9 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 		})
 	}
 	deadline := t0 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
+	if in.Cfg.Obs != nil {
+		in.Cfg.Obs.Span(obs.TrackGlobal, "tag:epoch", float64(t0), float64(deadline), uint32(round))
+	}
 	in.Sim.Run(deadline)
 
 	return Outcome{

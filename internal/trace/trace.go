@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/packet"
@@ -28,15 +29,20 @@ type Event struct {
 	Detail string `json:"detail"`
 }
 
-// Log is a bounded event buffer. The zero value is unusable; use New.
+// Log is a bounded event buffer. The zero value is unusable; use New or
+// NewRing. The two constructors pick what a full buffer discards: a head
+// log keeps the first limit events and drops the tail, a ring log keeps
+// the last limit events and drops the head.
 type Log struct {
 	limit   int
+	ring    bool
 	events  []Event
+	start   int // ring mode: index of the oldest stored event
 	dropped int
 }
 
-// New creates a log that keeps at most limit events; further events are
-// counted but not stored.
+// New creates a head-mode log that keeps at most limit events; further
+// events are counted but not stored.
 func New(limit int) *Log {
 	if limit <= 0 {
 		panic("trace: limit must be positive")
@@ -44,31 +50,73 @@ func New(limit int) *Log {
 	return &Log{limit: limit}
 }
 
+// NewRing creates a ring-mode log that keeps the most recent limit
+// events; once full, every new event evicts the oldest one. Long runs use
+// this to capture the end of the timeline instead of the beginning.
+func NewRing(limit int) *Log {
+	if limit <= 0 {
+		panic("trace: limit must be positive")
+	}
+	return &Log{limit: limit, ring: true}
+}
+
+// Mode reports how the log bounds itself: "head" or "ring".
+func (l *Log) Mode() string {
+	if l.ring {
+		return "ring"
+	}
+	return "head"
+}
+
 // Add records one event.
 func (l *Log) Add(ev Event) {
 	if len(l.events) >= l.limit {
 		l.dropped++
+		if !l.ring {
+			return
+		}
+		l.events[l.start] = ev
+		l.start++
+		if l.start == l.limit {
+			l.start = 0
+		}
 		return
 	}
 	l.events = append(l.events, ev)
 }
 
-// Events returns the recorded events in order.
-func (l *Log) Events() []Event { return l.events }
+// Events returns the recorded events in time order. In ring mode after a
+// wrap the slice is freshly assembled; callers must not retain it across
+// further Adds.
+func (l *Log) Events() []Event {
+	if l.start == 0 {
+		return l.events
+	}
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	out = append(out, l.events[:l.start]...)
+	return out
+}
 
 // Dropped returns how many events arrived after the buffer filled.
 func (l *Log) Dropped() int { return l.dropped }
 
-// WriteJSON emits the log as JSON lines (one event per line).
+// WriteJSON emits the log as JSON lines (one event per line), followed by
+// a trailer line recording the capture mode and the dropped count when
+// either carries information (ring mode, or dropped > 0).
 func (l *Log) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	for _, ev := range l.events {
+	for _, ev := range l.Events() {
 		if err := enc.Encode(ev); err != nil {
 			return err
 		}
 	}
-	if l.dropped > 0 {
-		if err := enc.Encode(map[string]int{"dropped": l.dropped}); err != nil {
+	if l.ring || l.dropped > 0 {
+		trailer := map[string]any{"dropped": l.dropped}
+		if l.ring {
+			trailer["mode"] = "ring"
+		}
+		if err := enc.Encode(trailer); err != nil {
 			return err
 		}
 	}
@@ -114,10 +162,17 @@ func Summarize(l *Log) Summary {
 			s.Last = ev.Time
 		}
 	}
+	// Visit nodes in ID order so ties deterministically go to the lowest
+	// node ID regardless of map iteration order.
+	nodes := make([]int32, 0, len(perNode))
+	for node := range perNode {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	best := -1
-	for node, count := range perNode {
-		if count > best || (count == best && node < s.BusiestNode) {
-			best = count
+	for _, node := range nodes {
+		if perNode[node] > best {
+			best = perNode[node]
 			s.BusiestNode = node
 		}
 	}
@@ -125,7 +180,8 @@ func Summarize(l *Log) Summary {
 }
 
 // ReadJSON parses a JSON-lines timeline produced by WriteJSON back into a
-// log (the dropped-marker line, if present, restores the dropped count).
+// log. The trailer line, if present, restores the dropped count and the
+// capture mode (Mode reports "ring" for a ring-captured file).
 func ReadJSON(r io.Reader, limit int) (*Log, error) {
 	l := New(limit)
 	dec := json.NewDecoder(r)
@@ -137,9 +193,14 @@ func ReadJSON(r io.Reader, limit int) (*Log, error) {
 			}
 			return nil, err
 		}
-		if d, ok := raw["dropped"]; ok && len(raw) == 1 {
-			if n, ok := d.(float64); ok {
+		_, hasDropped := raw["dropped"]
+		_, hasKind := raw["kind"]
+		if hasDropped && !hasKind {
+			if n, ok := raw["dropped"].(float64); ok {
 				l.dropped += int(n)
+			}
+			if m, ok := raw["mode"].(string); ok && m == "ring" {
+				l.ring = true
 			}
 			continue
 		}

@@ -61,6 +61,104 @@ func TestNewPanicsOnBadLimit(t *testing.T) {
 	New(0)
 }
 
+func TestRingKeepsLastEvents(t *testing.T) {
+	l := NewRing(3)
+	if l.Mode() != "ring" {
+		t.Fatalf("mode %q", l.Mode())
+	}
+	for i := 0; i < 7; i++ {
+		l.Add(Event{Time: float64(i), Kind: "x"})
+	}
+	events := l.Events()
+	if len(events) != 3 || l.Dropped() != 4 {
+		t.Fatalf("kept %d events, dropped %d", len(events), l.Dropped())
+	}
+	for i, ev := range events {
+		if ev.Time != float64(4+i) { // last three: 4, 5, 6, oldest first
+			t.Fatalf("ring order broken: %v", events)
+		}
+	}
+	// Head mode over the same stream keeps the first three instead.
+	h := New(3)
+	for i := 0; i < 7; i++ {
+		h.Add(Event{Time: float64(i), Kind: "x"})
+	}
+	if h.Mode() != "head" || h.Events()[2].Time != 2 {
+		t.Fatalf("head mode kept %v", h.Events())
+	}
+}
+
+func TestRingModeSurvivesJSONRoundTrip(t *testing.T) {
+	l := NewRing(2)
+	for i := 0; i < 5; i++ {
+		l.Add(Event{Time: float64(i), Node: int32(i), Kind: "rx", Detail: "x"})
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != "ring" {
+		t.Fatalf("mode %q after round trip", back.Mode())
+	}
+	if back.Dropped() != 3 {
+		t.Fatalf("dropped %d after round trip", back.Dropped())
+	}
+	events := back.Events()
+	if len(events) != 2 || events[0].Time != 3 || events[1].Time != 4 {
+		t.Fatalf("round-tripped events %v", events)
+	}
+	// An unwrapped ring emits a mode trailer even with nothing dropped.
+	fresh := NewRing(8)
+	fresh.Add(Event{Time: 1, Kind: "rx"})
+	buf.Reset()
+	if err := fresh.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadJSON(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode() != "ring" || back.Dropped() != 0 || len(back.Events()) != 1 {
+		t.Fatalf("unwrapped ring round trip: mode %q dropped %d events %d",
+			back.Mode(), back.Dropped(), len(back.Events()))
+	}
+}
+
+func TestSummarizeBusiestTieBreaksLowestID(t *testing.T) {
+	// Two insertion orders of the same tied counts must agree: with many
+	// tied nodes, a map-iteration-order dependence would flake.
+	build := func(nodes []int32) *Log {
+		l := New(100)
+		for _, n := range nodes {
+			l.Add(Event{Time: 1, Node: n, Kind: "rx", Detail: "x"})
+		}
+		return l
+	}
+	var forward, backward []int32
+	for n := int32(1); n <= 40; n++ {
+		forward = append(forward, n)
+		backward = append(backward, 41-n)
+	}
+	for i := 0; i < 20; i++ {
+		if got := Summarize(build(forward)).BusiestNode; got != 1 {
+			t.Fatalf("forward tie broke to node %d, want 1", got)
+		}
+		if got := Summarize(build(backward)).BusiestNode; got != 1 {
+			t.Fatalf("backward tie broke to node %d, want 1", got)
+		}
+	}
+	// A strict winner beats the tie-break regardless of ID.
+	l := build(forward)
+	l.Add(Event{Time: 2, Node: 33, Kind: "rx", Detail: "x"})
+	if got := Summarize(l).BusiestNode; got != 33 {
+		t.Fatalf("busiest %d, want 33", got)
+	}
+}
+
 func TestAttachRadioRecordsFrames(t *testing.T) {
 	net, err := topology.Grid(2, 30, 50)
 	if err != nil {

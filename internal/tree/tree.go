@@ -26,6 +26,7 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -100,6 +101,11 @@ type Config struct {
 	// Every root floods both colors at hop 0 and collects aggregation
 	// results; nodes attach to whichever root's flood reaches them first.
 	ExtraRoots []topology.NodeID
+	// Obs is the optional instrumentation sink: role counters, a
+	// tree-construction span with nested red/blue flood spans, and
+	// per-node role-decision instants. Nil disables instrumentation;
+	// observing never alters the constructed trees.
+	Obs *obs.Sink
 }
 
 // DefaultConfig returns the paper's parameters: adaptive roles with k = 4.
@@ -251,12 +257,30 @@ func BuildDisjoint(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *top
 	startFrames := medium.Stats().FramesSent
 	roleRand := rand.Split(1)
 
+	phaseStart := float64(sim.Now())
+	lastRed, lastBlue := phaseStart, phaseStart
+	var roleCount [RoleBase + 1]obs.Counter
+	if cfg.Obs != nil && cfg.Obs.Reg != nil {
+		for _, role := range []Role{RoleUndecided, RoleLeaf, RoleRed, RoleBlue} {
+			roleCount[role] = cfg.Obs.Reg.Counter("ipda_tree_roles_total",
+				"Phase I role decisions", obs.Label{Name: "role", Value: role.String()})
+		}
+	}
+
 	sendHello := func(src topology.NodeID, color packet.Color, hop uint16) {
 		m.Send(src, &packet.Packet{
 			Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
 			Color:  color,
 			Hop:    hop,
 		})
+		if cfg.Obs != nil {
+			switch color {
+			case packet.Red:
+				lastRed = float64(sim.Now())
+			case packet.Blue:
+				lastBlue = float64(sim.Now())
+			}
+		}
 	}
 
 	decide := func(id topology.NodeID) {
@@ -298,6 +322,17 @@ func BuildDisjoint(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *top
 			sendHello(id, packet.Blue, st.hop)
 		default:
 			st.role = RoleLeaf
+		}
+		if cfg.Obs != nil {
+			roleCount[st.role].Inc()
+			switch st.role {
+			case RoleRed:
+				cfg.Obs.Instant(int32(id), "role:red", float64(sim.Now()), 0)
+			case RoleBlue:
+				cfg.Obs.Instant(int32(id), "role:blue", float64(sim.Now()), 0)
+			case RoleLeaf:
+				cfg.Obs.Instant(int32(id), "role:leaf", float64(sim.Now()), 0)
+			}
 		}
 	}
 
@@ -353,6 +388,16 @@ func BuildDisjoint(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *top
 		}
 	})
 	sim.Run(sim.Now() + cfg.Deadline)
+
+	if cfg.Obs != nil {
+		end := lastRed
+		if lastBlue > end {
+			end = lastBlue
+		}
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:tree-construction", phaseStart, end, 0)
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:red-flood", phaseStart, lastRed, 0)
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:blue-flood", phaseStart, lastBlue, 0)
+	}
 
 	res := &Result{
 		Role:          make([]Role, n),

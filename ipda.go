@@ -31,6 +31,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/mtree"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/privacy"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/tag"
@@ -67,6 +68,11 @@ type Config struct {
 	// Seed drives every random choice; equal configs reproduce runs
 	// exactly.
 	Seed uint64
+	// Observe attaches the instrumentation layer (labeled metrics plus
+	// simulated-clock phase spans) to the deployment. Observation never
+	// alters protocol behavior or results; read what was recorded through
+	// Network.Obs.
+	Observe bool
 }
 
 // DefaultConfig returns the paper's evaluation setup for the given number
@@ -121,6 +127,7 @@ type Network struct {
 	topo *topology.Network
 	inst *core.Instance
 	eav  *attack.Eavesdropper
+	sink *obs.Sink
 }
 
 // Deploy places the nodes, builds the radio stack, and runs Phase I.
@@ -130,11 +137,17 @@ func Deploy(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
-	inst, err := core.New(topo, cfg.coreConfig(), cfg.Seed^0xa5a5a5a5)
+	ccfg := cfg.coreConfig()
+	var sink *obs.Sink
+	if cfg.Observe {
+		sink = obs.NewSink()
+		ccfg.Obs = sink
+	}
+	inst, err := core.New(topo, ccfg, cfg.Seed^0xa5a5a5a5)
 	if err != nil {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
-	return &Network{cfg: cfg, topo: topo, inst: inst}, nil
+	return &Network{cfg: cfg, topo: topo, inst: inst, sink: sink}, nil
 }
 
 // Size returns the number of nodes including the base station.
@@ -381,16 +394,61 @@ func TheoreticalLeafAdvantage(px float64, l int) float64 {
 	return privacy.TheoreticalLeafAdvantage(px, l)
 }
 
+// Observer exposes the instrumentation a deployment recorded. Obtain one
+// from Network.Obs after deploying with Config.Observe set.
+type Observer struct {
+	sink *obs.Sink
+}
+
+// Obs returns the network's instrumentation, or nil when the deployment
+// was not observed (Config.Observe false).
+func (n *Network) Obs() *Observer {
+	if n.sink == nil {
+		return nil
+	}
+	return &Observer{sink: n.sink}
+}
+
+// WritePrometheus emits every recorded metric in the Prometheus text
+// exposition format. Output is deterministic: families and series are
+// sorted, so equal runs produce byte-identical exports.
+func (o *Observer) WritePrometheus(w io.Writer) error {
+	return o.sink.Reg.WriteProm(w)
+}
+
+// WriteChromeTrace emits the recorded phase spans as a Chrome trace-event
+// JSON document loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Simulated seconds map to trace microseconds, so a
+// 1-second protocol phase renders as a 1 ms slice.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	return o.sink.Spans.WriteChromeTrace(w)
+}
+
+// Spans returns the number of recorded phase spans and instants.
+func (o *Observer) Spans() int { return o.sink.Spans.Len() }
+
+// DroppedSpans returns how many spans overflowed the recorder's limit.
+func (o *Observer) DroppedSpans() uint64 { return o.sink.Spans.Dropped() }
+
 // Trace is a recorded protocol timeline (see EnableTrace).
 type Trace struct {
 	log *trace.Log
 }
 
 // EnableTrace starts recording every audible frame as a timeline event,
-// keeping at most limit events. Enable before running queries; write the
-// result with WriteJSON.
+// keeping at most limit events (the first limit — the tail is dropped).
+// Enable before running queries; write the result with WriteJSON.
 func (n *Network) EnableTrace(limit int) *Trace {
 	l := trace.New(limit)
+	trace.AttachRadio(l, n.inst.Sim, n.inst.Medium)
+	return &Trace{log: l}
+}
+
+// EnableRingTrace is EnableTrace with ring-buffer retention: once full,
+// each new event evicts the oldest, so long runs keep the *last* limit
+// events instead of the first.
+func (n *Network) EnableRingTrace(limit int) *Trace {
+	l := trace.NewRing(limit)
 	trace.AttachRadio(l, n.inst.Sim, n.inst.Medium)
 	return &Trace{log: l}
 }
@@ -398,8 +456,12 @@ func (n *Network) EnableTrace(limit int) *Trace {
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.log.Events()) }
 
-// Dropped returns how many events overflowed the buffer.
+// Dropped returns how many events overflowed the buffer (in ring mode,
+// how many old events were evicted).
 func (t *Trace) Dropped() int { return t.log.Dropped() }
+
+// Mode reports the capture mode: "head" or "ring".
+func (t *Trace) Mode() string { return t.log.Mode() }
 
 // WriteJSON emits the timeline as JSON lines.
 func (t *Trace) WriteJSON(w io.Writer) error { return t.log.WriteJSON(w) }

@@ -392,3 +392,96 @@ func TestAnalyticHelpers(t *testing.T) {
 		t.Fatalf("TheoreticalDisclosure = %v", d)
 	}
 }
+
+func TestObserveExportsMetricsAndSpans(t *testing.T) {
+	cfg := DefaultConfig(250)
+	cfg.Observe = true
+	net, err := Deploy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Count(); err != nil {
+		t.Fatal(err)
+	}
+	o := net.Obs()
+	if o == nil {
+		t.Fatal("Obs() nil with Observe set")
+	}
+	var prom bytes.Buffer
+	if err := o.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE ipda_radio_tx_bytes_total counter",
+		`ipda_core_rounds_total{verdict="accepted"} 1`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("prometheus export missing %q", want)
+		}
+	}
+	var spans bytes.Buffer
+	if err := o.WriteChromeTrace(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if o.Spans() == 0 || !strings.Contains(spans.String(), "phase1:tree-construction") {
+		t.Fatalf("span export missing phases (%d spans)", o.Spans())
+	}
+
+	// Same config without Observe: no observer, identical results.
+	plainNet, err := Deploy(DefaultConfig(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainNet.Obs() != nil {
+		t.Fatal("Obs() non-nil without Observe")
+	}
+	plain, err := plainNet.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := func() (*QueryResult, error) {
+		c := DefaultConfig(250)
+		c.Observe = true
+		n, err := Deploy(c)
+		if err != nil {
+			return nil, err
+		}
+		return n.Count()
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *plain != *observed {
+		t.Fatalf("observation perturbed the round: %+v vs %+v", plain, observed)
+	}
+}
+
+func TestRingTraceKeepsTail(t *testing.T) {
+	net, err := Deploy(DefaultConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := net.EnableRingTrace(20)
+	if tr.Mode() != "ring" {
+		t.Fatalf("mode %q", tr.Mode())
+	}
+	if _, err := net.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 20 || tr.Dropped() == 0 {
+		t.Fatalf("ring len %d dropped %d; expected a wrapped buffer", tr.Len(), tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"mode":"ring"`) {
+		t.Fatal("ring trailer missing from JSON export")
+	}
+	// A ring keeps the end of the timeline: the last recorded event must
+	// sit at the end of the run, after aggregation started.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[len(lines)-2], "AGG") && !strings.Contains(lines[len(lines)-2], "ACK") {
+		t.Fatalf("tail event unexpected: %s", lines[len(lines)-2])
+	}
+}

@@ -91,6 +91,9 @@ func BenchmarkKeys(b *testing.B) { benchExperiment(b, "keys") }
 // BenchmarkLAblation regenerates the slice-count ablation.
 func BenchmarkLAblation(b *testing.B) { benchExperiment(b, "lablation") }
 
+// BenchmarkChurn regenerates the fault-injection/tree-repair experiment.
+func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
+
 // Sweep-shape benchmarks: the same Figure-6-style workload (5 sizes × 2
 // trials, each trial one deployment plus one COUNT round) scheduled two
 // ways. Flattened is the harness's global (point × trial) queue; PerPoint

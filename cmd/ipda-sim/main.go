@@ -9,6 +9,8 @@
 //	ipda-sim -nodes 400 -pollute 17 -delta 500
 //	ipda-sim -nodes 400 -eavesdrop 0.1        # measure disclosure
 //	ipda-sim -nodes 400 -compare              # also run the TAG baseline
+//	ipda-sim -nodes 400 -rounds 8 -churn 0.05 -repair   # churn + tree repair
+//	ipda-sim -nodes 400 -kill 17,42 -repair   # scripted crashes before round 0
 //	ipda-sim -nodes 400 -metrics out.prom     # Prometheus metric snapshot
 //	ipda-sim -nodes 400 -spans round.trace.json  # Perfetto phase spans
 package main
@@ -19,6 +21,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/ipda-sim/ipda"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -38,6 +42,11 @@ func main() {
 		pollute     = flag.Int("pollute", 0, "node ID to turn into a polluter (0 = none)")
 		delta       = flag.Int64("delta", 1000, "pollution delta")
 		eavesdrop   = flag.Float64("eavesdrop", -1, "per-link compromise probability (-1 = off)")
+		rounds      = flag.Int("rounds", 1, "number of query rounds to run")
+		churn       = flag.Float64("churn", 0, "per-round probability that each live node crashes")
+		churnRec    = flag.Float64("churn-recover", 0.25, "per-round probability that each dead node recovers")
+		kill        = flag.String("kill", "", "comma-separated node IDs crashed before round 0")
+		repair      = flag.Bool("repair", false, "re-attach orphaned aggregators around dead parents between rounds")
 		compare     = flag.Bool("compare", false, "also run the TAG baseline")
 		traceFile   = flag.String("trace", "", "write a JSON-lines protocol timeline to this file")
 		traceRing   = flag.Bool("trace-ring", false, "capture the trace as a ring buffer (keep the last events instead of the first)")
@@ -54,6 +63,21 @@ func main() {
 	cfg.Threshold = *threshold
 	cfg.Seed = *seed
 	cfg.Observe = *metricsFile != "" || *metricsAddr != "" || *spansFile != ""
+	cfg.Repair = *repair
+	if *churn > 0 || *kill != "" {
+		faults := &ipda.Faults{CrashRate: *churn, RecoverRate: *churnRec, Seed: *seed}
+		for _, tok := range strings.Split(*kill, ",") {
+			if tok = strings.TrimSpace(tok); tok == "" {
+				continue
+			}
+			id, err := strconv.Atoi(tok)
+			if err != nil {
+				fail(fmt.Errorf("bad -kill node %q: %w", tok, err))
+			}
+			faults.Events = append(faults.Events, ipda.FaultEvent{Round: 0, Node: id})
+		}
+		cfg.Faults = faults
+	}
 
 	net, err := ipda.Deploy(cfg)
 	if err != nil {
@@ -93,13 +117,36 @@ func main() {
 		readings[i] = *lo + r.Int64n(*hi-*lo+1)
 	}
 
-	res, err := net.Query(kind, readings)
-	if err != nil {
-		fail(err)
+	if cfg.Faults != nil {
+		fmt.Printf("faults:     churn %.1f%%/round (recover %.1f%%), %d scripted kill(s), repair %v\n",
+			100*cfg.Faults.CrashRate, 100*cfg.Faults.RecoverRate, len(cfg.Faults.Events), cfg.Repair)
+	}
+	var res *ipda.QueryResult
+	accepted := 0
+	for round := 0; round < *rounds; round++ {
+		var err error
+		res, err = net.Query(kind, readings)
+		if err != nil {
+			fail(err)
+		}
+		if res.Accepted {
+			accepted++
+		}
+		if *rounds > 1 || cfg.Faults != nil {
+			verdict := "ACCEPTED"
+			if !res.Accepted {
+				verdict = "REJECTED"
+			}
+			fmt.Printf("round %-3d   %s |diff| %-4d dead %-3d skipped %-3d repaired %-3d contributors %d/%d\n",
+				round, verdict, abs(res.BlueSum-res.RedSum),
+				res.Dead, res.Skipped, res.Repaired, res.RedContributors, res.BlueContributors)
+		}
 	}
 	fmt.Printf("query %s:   red %d, blue %d, |diff| %d\n",
 		*query, res.RedSum, res.BlueSum, abs(res.BlueSum-res.RedSum))
-	if res.Accepted {
+	if *rounds > 1 {
+		fmt.Printf("verdict:    %d/%d rounds accepted; last value = %.4g\n", accepted, *rounds, res.Value)
+	} else if res.Accepted {
 		fmt.Printf("verdict:    ACCEPTED, value = %.4g\n", res.Value)
 	} else {
 		fmt.Println("verdict:    REJECTED (integrity violation or heavy loss)")

@@ -26,6 +26,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/aggregate"
 	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
@@ -80,6 +81,18 @@ type Config struct {
 	// top of the collision model; the ARQ recovers unicast losses, so
 	// moderate fading costs retries rather than data.
 	LossRate float64
+	// Faults optionally replays a deterministic crash/recover schedule
+	// against this instance: the schedule advances once per additive
+	// round, just before the round starts, driving Kill/Revive (see
+	// internal/fault). Base stations are always protected. Nil disables
+	// injection.
+	Faults *fault.Config
+	// Repair enables localized tree repair: each round, live aggregators
+	// whose parent is dead re-attach to an alternate live same-color
+	// neighbor (tree.Result.RepairDead), and slice senders avoid dead or
+	// skipping targets. Without it the trees are used as built and a dead
+	// aggregator silently severs its whole subtree.
+	Repair bool
 	// Obs is the optional instrumentation sink, threaded through the
 	// whole stack (radio, MAC, trees, energy, and the protocol phases).
 	// Nil disables instrumentation; observing never alters a run's
@@ -118,6 +131,11 @@ func (c Config) Validate() error {
 	if c.LossRate < 0 || c.LossRate >= 1 {
 		return fmt.Errorf("core: LossRate must be in [0, 1), got %v", c.LossRate)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return c.Tree.Validate()
 }
 
@@ -149,12 +167,30 @@ type Instance struct {
 	ciphers   *linksec.CipherCache // per-link sealing state over Keys
 	obs       *coreObs
 
-	// Per-round mutable state, reset by runAdditiveRound.
+	// Fault-injection and repair state. basisParent is the pristine
+	// Phase I parent vector; repair mutates Trees.Parent per round and the
+	// basis restores it at the next round's start. skip marks live
+	// aggregators sitting the current round out (no disjoint
+	// re-attachment existed for them).
+	faults      *fault.Injector
+	faultRound  int
+	basisParent []topology.NodeID
+	skip        []bool
+	treesDirty  bool
+
+	// Per-round mutable state: allocated once on first use and cleared in
+	// place by resetRoundState, so steady-state rounds reuse the buffers.
 	assembled  []assemblerPair
 	childSum   []int64
 	childCount []uint32
-	bsChild    map[packet.Color]*bsAccum
-	onQuery    func(self topology.NodeID)
+	contribs   []int64
+	// planned/delivered count Phase II shares per origin node and tree
+	// (index 0 red, 1 blue): the participation accounting behind the
+	// RoundOutcome contributor fields.
+	planned   [2][]uint16
+	delivered [2][]uint16
+	bsChild   map[packet.Color]*bsAccum
+	onQuery   func(self topology.NodeID)
 }
 
 // coreObs holds the protocol engine's pre-resolved instrument handles;
@@ -167,6 +203,8 @@ type coreObs struct {
 	aggregatesSent  obs.Counter
 	roundsAccepted  obs.Counter
 	roundsRejected  obs.Counter
+	repairs         obs.Counter
+	roundSkips      obs.Counter
 }
 
 func newCoreObs(reg *obs.Registry) *coreObs {
@@ -180,6 +218,8 @@ func newCoreObs(reg *obs.Registry) *coreObs {
 			obs.Label{Name: "verdict", Value: "accepted"}),
 		roundsRejected: reg.Counter("ipda_core_rounds_total", "base-station verification outcomes",
 			obs.Label{Name: "verdict", Value: "rejected"}),
+		repairs:    reg.Counter("ipda_core_repairs_total", "tree re-attachments applied by localized repair"),
+		roundSkips: reg.Counter("ipda_core_round_skips_total", "aggregator round-skips for lack of a disjoint re-attachment"),
 	}
 }
 
@@ -245,6 +285,17 @@ func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
 		polluters: make(map[topology.NodeID]int64),
 		ciphers:   linksec.NewCipherCache(keys),
 	}
+	inst.basisParent = append([]topology.NodeID(nil), trees.Parent...)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj, err := fault.NewInjector(net.N(), *cfg.Faults, cfg.ExtraRoots)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Obs != nil {
+			inj.SetObs(cfg.Obs)
+		}
+		inst.faults = inj
+	}
 	if cfg.Obs != nil && cfg.Obs.Reg != nil {
 		inst.obs = newCoreObs(cfg.Obs.Reg)
 	}
@@ -264,10 +315,11 @@ func (in *Instance) Pollute(id topology.NodeID, delta int64) {
 
 // Kill fails node id at runtime: from the next round on it neither
 // transmits nor processes receptions, but — unlike Config.Disabled — the
-// trees were built while it was alive, so its subtree silently vanishes.
-// This models the node-failure case the base station cannot tell apart
-// from an attack ("either data pollution attacks or node failures, or
-// both", Section III-A).
+// trees were built while it was alive. Without Config.Repair its subtree
+// silently vanishes, modeling the node-failure case the base station
+// cannot tell apart from an attack ("either data pollution attacks or
+// node failures, or both", Section III-A); with Repair, orphaned
+// aggregators re-attach around it at the next round.
 func (in *Instance) Kill(id topology.NodeID) {
 	if in.dead == nil {
 		in.dead = make([]bool, in.Net.N())
@@ -281,6 +333,8 @@ func (in *Instance) Revive(id topology.NodeID) {
 		in.dead[id] = false
 	}
 }
+
+var _ fault.Target = (*Instance)(nil)
 
 // disabled reports whether a node is excluded from the protocol.
 func (in *Instance) disabled(id topology.NodeID) bool {
@@ -314,6 +368,18 @@ type RoundOutcome struct {
 	Participants        int    // nodes that sliced this round
 	Bytes               uint64 // radio bytes spent on the round
 	Frames              uint64 // frames transmitted during the round
+
+	// RedContributed and BlueContributed count the participants whose
+	// complete slice set for that tree was assembled by live aggregators
+	// — simulator-side ground truth the experiments use to tell "rejected
+	// because polluted" from "rejected because partitioned": a partition
+	// shows up as contributor counts diverging between the trees (or
+	// collapsing on both) while pollution leaves them intact.
+	RedContributed, BlueContributed int
+	// Dead counts nodes down when the round ran; Skipped counts live
+	// aggregators that sat the round out for lack of a disjoint
+	// re-attachment; Repaired counts parent re-assignments applied.
+	Dead, Skipped, Repaired int
 }
 
 // Diff returns |S_b − S_r|.
@@ -356,8 +422,12 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 	sums := make([]int64, valueRounds)
 	var count uint32
 	countSpec := aggregate.SpecFor(aggregate.Count)
+	if in.contribs == nil {
+		in.contribs = make([]int64, in.Net.N())
+	}
 	for round := 0; round < total; round++ {
-		contribs := make([]int64, in.Net.N())
+		contribs := in.contribs
+		clear(contribs)
 		for i := 1; i < in.Net.N(); i++ {
 			var c int64
 			var err error
@@ -371,7 +441,10 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 			}
 			contribs[i] = c
 		}
-		out := in.runAdditiveRound(contribs)
+		out, err := in.runAdditiveRound(contribs)
+		if err != nil {
+			return nil, err
+		}
 		res.Outcomes = append(res.Outcomes, out)
 		accepted := out.Diff() <= in.Cfg.Threshold
 		if !accepted {
@@ -429,19 +502,24 @@ func sliceNonce(round uint16, src, dst topology.NodeID, idx int) uint32 {
 
 // runAdditiveRound executes Phases II and III once for the given per-node
 // additive contributions and returns the two tree totals.
-func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
+func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 	n := in.Net.N()
 	in.round++
 	round := in.round
+	if in.faults != nil {
+		// Faults fire between rounds: the schedule advances before the
+		// slicing window opens, never mid-phase.
+		in.faults.Advance(in.faultRound, float64(in.Sim.Now()), in)
+		in.faultRound++
+	}
+	dead, repaired, skipped, err := in.prepareTrees()
+	if err != nil {
+		return RoundOutcome{}, err
+	}
 	startBytes := in.Medium.TotalBytes()
 	startFrames := in.Medium.Stats().FramesSent
 
-	in.assembled = make([]assemblerPair, n)
-	for i := range in.assembled {
-		in.assembled[i] = assemblerPair{slicing.NewAssembler(), slicing.NewAssembler()}
-	}
-	in.childSum = make([]int64, n)
-	in.childCount = make([]uint32, n)
+	in.resetRoundState()
 
 	in.installReceivers(round)
 
@@ -457,7 +535,7 @@ func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
 	plans := make(map[topology.NodeID]*plan)
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
-		if in.disabled(id) || in.Trees.Role[id] == tree.RoleBase {
+		if in.disabled(id) || in.skipping(id) || in.Trees.Role[id] == tree.RoleBase {
 			continue
 		}
 		role := in.Trees.Role[id]
@@ -481,6 +559,8 @@ func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
 		}
 		delete(plans, id) // start at most once
 		participants++
+		in.planned[0][id] = uint16(len(p.targets.Red))
+		in.planned[1][id] = uint16(len(p.targets.Blue))
 		if in.Cfg.Obs != nil {
 			// The node's slicing window has a statically known extent, so
 			// the span is recorded up front instead of via an end event
@@ -541,15 +621,113 @@ func (in *Instance) runAdditiveRound(contribs []int64) RoundOutcome {
 			blue += in.assembled[i].blue.Total()
 		}
 	}
-	return RoundOutcome{
-		Red:          red,
-		Blue:         blue,
-		RedCount:     in.bsChild[packet.Red].count,
-		BlueCount:    in.bsChild[packet.Blue].count,
-		Participants: participants,
-		Bytes:        in.Medium.TotalBytes() - startBytes,
-		Frames:       in.Medium.Stats().FramesSent - startFrames,
+	redContrib, blueContrib := 0, 0
+	for i := 1; i < n; i++ {
+		if in.planned[0][i] > 0 && in.delivered[0][i] >= in.planned[0][i] {
+			redContrib++
+		}
+		if in.planned[1][i] > 0 && in.delivered[1][i] >= in.planned[1][i] {
+			blueContrib++
+		}
 	}
+	return RoundOutcome{
+		Red:             red,
+		Blue:            blue,
+		RedCount:        in.bsChild[packet.Red].count,
+		BlueCount:       in.bsChild[packet.Blue].count,
+		Participants:    participants,
+		Bytes:           in.Medium.TotalBytes() - startBytes,
+		Frames:          in.Medium.Stats().FramesSent - startFrames,
+		RedContributed:  redContrib,
+		BlueContributed: blueContrib,
+		Dead:            dead,
+		Skipped:         skipped,
+		Repaired:        repaired,
+	}, nil
+}
+
+// skipping reports whether a live aggregator sits the current round out.
+func (in *Instance) skipping(id topology.NodeID) bool {
+	return in.skip != nil && in.skip[id]
+}
+
+// availTarget reports whether a slice-target candidate should be offered
+// to ChooseTargets. With Repair enabled, senders model the liveness
+// knowledge repair presumes and steer their shares away from dead or
+// skipping aggregators; without it they stay oblivious and shares sent to
+// dead neighbors are simply lost.
+func (in *Instance) availTarget(c topology.NodeID) bool {
+	if !in.Cfg.Repair {
+		return true
+	}
+	return !in.disabled(c) && !in.skipping(c)
+}
+
+// prepareTrees restores the pristine Phase I parents and, when repair is
+// enabled and nodes are down, re-attaches orphaned aggregators for the
+// coming round. It returns the dead-node count and the repair tallies.
+func (in *Instance) prepareTrees() (dead, repaired, skipped int, err error) {
+	if in.treesDirty {
+		copy(in.Trees.Parent, in.basisParent)
+		in.treesDirty = false
+	}
+	if in.skip != nil {
+		clear(in.skip)
+	}
+	if in.dead != nil {
+		for i := 1; i < in.Net.N(); i++ {
+			if in.dead[i] {
+				dead++
+			}
+		}
+	}
+	if dead == 0 || !in.Cfg.Repair {
+		return dead, 0, 0, nil
+	}
+	out, rerr := in.Trees.RepairDead(in.disabled)
+	if rerr != nil {
+		return dead, 0, 0, fmt.Errorf("core: round repair: %w", rerr)
+	}
+	in.treesDirty = true
+	if in.skip == nil {
+		in.skip = make([]bool, in.Net.N())
+	}
+	for _, id := range out.Skipped {
+		in.skip[id] = true
+	}
+	if in.obs != nil {
+		in.obs.repairs.Add(float64(out.Reattached))
+		in.obs.roundSkips.Add(float64(len(out.Skipped)))
+	}
+	return dead, out.Reattached, len(out.Skipped), nil
+}
+
+// resetRoundState prepares the reusable per-round buffers: they are
+// allocated on the first round and cleared in place afterwards, keeping
+// steady-state rounds off the allocator.
+func (in *Instance) resetRoundState() {
+	n := in.Net.N()
+	if in.assembled == nil {
+		in.assembled = make([]assemblerPair, n)
+		for i := range in.assembled {
+			in.assembled[i] = assemblerPair{slicing.NewAssembler(), slicing.NewAssembler()}
+		}
+		in.childSum = make([]int64, n)
+		in.childCount = make([]uint32, n)
+		in.planned = [2][]uint16{make([]uint16, n), make([]uint16, n)}
+		in.delivered = [2][]uint16{make([]uint16, n), make([]uint16, n)}
+		return
+	}
+	for i := range in.assembled {
+		in.assembled[i].red.Reset()
+		in.assembled[i].blue.Reset()
+	}
+	clear(in.childSum)
+	clear(in.childCount)
+	clear(in.planned[0])
+	clear(in.planned[1])
+	clear(in.delivered[0])
+	clear(in.delivered[1])
 }
 
 // floodQuery broadcasts a QUERY from the base station and lets every
@@ -588,6 +766,9 @@ func (in *Instance) split(value int64) []int64 {
 func (in *Instance) keyedTargets(id topology.NodeID, cands []topology.NodeID) []topology.NodeID {
 	out := make([]topology.NodeID, 0, len(cands))
 	for _, c := range cands {
+		if !in.availTarget(c) {
+			continue
+		}
 		if _, ok := in.ciphers.Link(id, c); ok {
 			out = append(out, c)
 		}
@@ -634,13 +815,16 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 	}
 }
 
-// addShare folds a decrypted share into the node's per-color assembler.
+// addShare folds a decrypted share into the node's per-color assembler and
+// credits the origin's delivery tally.
 func (in *Instance) addShare(id topology.NodeID, color packet.Color, from topology.NodeID, share int64) {
 	switch color {
 	case packet.Red:
 		in.assembled[id].red.Add(from, share)
+		in.delivered[0][from]++
 	case packet.Blue:
 		in.assembled[id].blue.Add(from, share)
+		in.delivered[1][from]++
 	}
 }
 
@@ -713,7 +897,7 @@ func (in *Instance) onAggregate(self topology.NodeID, p *packet.Packet) {
 
 // sendAggregate emits node id's Phase III partial sum to its tree parent.
 func (in *Instance) sendAggregate(round uint16, id topology.NodeID) {
-	if in.disabled(id) {
+	if in.disabled(id) || in.skipping(id) {
 		return
 	}
 	role := in.Trees.Role[id]

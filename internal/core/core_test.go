@@ -7,6 +7,7 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/aggregate"
 	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -380,6 +381,34 @@ func TestMultipleRoundsIndependent(t *testing.T) {
 	}
 }
 
+// TestRoundStateReuseAcrossRounds pins the zero-alloc round contract: the
+// per-round buffers (contribution vector, child accumulators, assemblers)
+// are allocated once per instance and then reused in place — including
+// across the two additive rounds of an AVERAGE query and across queries.
+func TestRoundStateReuseAcrossRounds(t *testing.T) {
+	inst := deploy(t, 200, 16, DefaultConfig())
+	readings := make([]int64, inst.Net.N())
+	for i := range readings {
+		readings[i] = 40
+	}
+	if _, err := inst.Run(aggregate.SpecFor(aggregate.Average), readings); err != nil {
+		t.Fatal(err)
+	}
+	contribs := &inst.contribs[0]
+	childSum := &inst.childSum[0]
+	asm := inst.assembled[1].red
+	if _, err := inst.Run(aggregate.SpecFor(aggregate.Average), readings); err != nil {
+		t.Fatal(err)
+	}
+	if &inst.contribs[0] != contribs || &inst.childSum[0] != childSum || inst.assembled[1].red != asm {
+		t.Fatal("per-round buffers were reallocated across rounds")
+	}
+	// Warm resets must stay off the allocator entirely.
+	if n := testing.AllocsPerRun(50, inst.resetRoundState); n != 0 {
+		t.Fatalf("resetRoundState allocates %v per round, want 0", n)
+	}
+}
+
 func TestOverheadRatioVsSlices(t *testing.T) {
 	// Section IV-A.2: per-round traffic grows roughly like 2l-1 slice
 	// messages + 1 aggregate; l=2 rounds should cost notably more than
@@ -651,6 +680,211 @@ func TestKillLeafOnlyLosesOneReading(t *testing.T) {
 	}
 	if res.Outcomes[0].Participants != base.Outcomes[0].Participants-1 {
 		t.Fatalf("participants %d, want %d", res.Outcomes[0].Participants, base.Outcomes[0].Participants-1)
+	}
+}
+
+// TestKillSymmetricLossAndExactRevive pins the mid-query Kill/Revive
+// semantics on a loss-free grid: a killed participating leaf's reading
+// disappears from BOTH tree totals symmetrically (the trees still agree
+// exactly), and Revive restores the pre-kill totals bit for bit.
+func TestKillSymmetricLossAndExactRevive(t *testing.T) {
+	net, err := topology.Grid(5, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceWindow = 20 // stretch the window: collisions vanish
+	readings := make([]int64, net.N())
+	for i := range readings {
+		readings[i] = int64(i*3 + 1)
+	}
+	// Probe seeds for a sequence where all three rounds stay loss-free;
+	// only then are the exactness assertions meaningful.
+seeds:
+	for seed := uint64(1); seed <= 30; seed++ {
+		inst, err := New(net, cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() (RoundOutcome, bool) {
+			collided := inst.Medium.Stats().FramesCollided
+			res, err := inst.RunSum(readings)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Outcomes[0], inst.Medium.Stats().FramesCollided == collided
+		}
+		var leaf topology.NodeID = topology.None
+		for i := 1; i < net.N(); i++ {
+			if inst.Trees.Role[i] == tree.RoleLeaf && inst.Trees.CanSlice(topology.NodeID(i), cfg.Slices) {
+				leaf = topology.NodeID(i)
+				break
+			}
+		}
+		if leaf == topology.None {
+			continue
+		}
+		before, ok := run()
+		if !ok {
+			continue seeds
+		}
+		if before.Red != before.Blue {
+			t.Fatalf("seed %d: loss-free baseline trees disagree: red %d blue %d", seed, before.Red, before.Blue)
+		}
+		inst.Kill(leaf)
+		killed, ok := run()
+		inst.Revive(leaf)
+		if !ok {
+			continue seeds
+		}
+		want := before.Red - readings[leaf]
+		if killed.Red != want || killed.Blue != want {
+			t.Fatalf("seed %d: killed-leaf totals red %d blue %d, want both %d (lost reading %d symmetrically)",
+				seed, killed.Red, killed.Blue, want, readings[leaf])
+		}
+		after, ok := run()
+		if !ok {
+			continue seeds
+		}
+		if after.Red != before.Red || after.Blue != before.Blue {
+			t.Fatalf("seed %d: revive did not restore totals: before (%d,%d), after (%d,%d)",
+				seed, before.Red, before.Blue, after.Red, after.Blue)
+		}
+		return
+	}
+	t.Skip("no seed in [1,30] gave three loss-free rounds")
+}
+
+// TestRepairReattachesAroundDeadAggregator compares repair on/off over
+// identical deployments and trees: killing a red aggregator with children
+// partitions the red tree and gets the round rejected without repair,
+// while localized re-attachment keeps the round accepted — and keeps the
+// trees disjoint.
+func TestRepairReattachesAroundDeadAggregator(t *testing.T) {
+	build := func(repair bool) *Instance {
+		cfg := DefaultConfig()
+		cfg.Repair = repair
+		return deploy(t, 400, 21, cfg)
+	}
+	plain, repaired := build(false), build(true)
+	// Same seed, same rng consumption: both instances hold identical trees.
+	var victim topology.NodeID = topology.None
+	for i := 1; i < plain.Net.N(); i++ {
+		if plain.Trees.Role[i] != tree.RoleRed {
+			continue
+		}
+		for j := 1; j < plain.Net.N(); j++ {
+			if plain.Trees.Parent[j] == topology.NodeID(i) {
+				victim = topology.NodeID(i)
+				break
+			}
+		}
+		if victim != topology.None {
+			break
+		}
+	}
+	if victim == topology.None {
+		t.Skip("no red aggregator with children")
+	}
+	plain.Kill(victim)
+	repaired.Kill(victim)
+	resPlain, err := plain.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRepair, err := repaired.RunCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resPlain.Accepted {
+		t.Fatalf("no-repair round accepted despite dead aggregator: %+v", resPlain.Outcomes[0])
+	}
+	out := resRepair.Outcomes[0]
+	if !resRepair.Accepted {
+		t.Fatalf("repaired round rejected: %+v", out)
+	}
+	if out.Repaired == 0 {
+		t.Fatal("repair round reports no re-attachments")
+	}
+	if out.Dead != 1 {
+		t.Fatalf("Dead = %d, want 1", out.Dead)
+	}
+	if err := repaired.Trees.Disjoint(); err != nil {
+		t.Fatalf("repair violated disjointness: %v", err)
+	}
+	// Graceful degradation accounting: with repair, nearly every planned
+	// participant still contributed on both trees.
+	if out.RedContributed < out.Participants*9/10 || out.BlueContributed < out.Participants*9/10 {
+		t.Fatalf("contributors collapsed despite repair: red %d blue %d of %d participants",
+			out.RedContributed, out.BlueContributed, out.Participants)
+	}
+}
+
+// TestChurnRepairPreservesDisjointness runs 50 seeded churn trials and
+// asserts the repair invariant: every repaired round leaves the trees
+// node-disjoint (RepairDead re-verifies internally and any violation
+// surfaces as a Run error; the final state is also checked externally).
+func TestChurnRepairPreservesDisjointness(t *testing.T) {
+	totalRepairs := 0
+	for seed := uint64(0); seed < 50; seed++ {
+		net, err := topology.Random(topology.PaperConfig(150), rng.New(300+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Repair = true
+		cfg.Faults = &fault.Config{CrashRate: 0.12, RecoverRate: 0.3, Seed: seed}
+		inst, err := New(net, cfg, 400+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 4; round++ {
+			res, err := inst.RunCount()
+			if err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			totalRepairs += res.Outcomes[0].Repaired
+			if err := inst.Trees.Disjoint(); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+		}
+	}
+	if totalRepairs == 0 {
+		t.Fatal("50 churn trials triggered no repairs; schedule inert")
+	}
+}
+
+// TestRepairBeatsNoRepairUnderChurn drives identical fault schedules with
+// and without repair: repair must accept strictly more rounds once churn
+// reaches 5%/round (the paper-level claim the churn experiment sweeps).
+func TestRepairBeatsNoRepairUnderChurn(t *testing.T) {
+	accepted := func(repair bool) int {
+		net, err := topology.Random(topology.PaperConfig(400), rng.New(91))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Repair = repair
+		cfg.Faults = &fault.Config{CrashRate: 0.05, RecoverRate: 0.25, Seed: 17}
+		inst, err := New(net, cfg, 92)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for round := 0; round < 8; round++ {
+			res, err := inst.RunCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accepted {
+				n++
+			}
+		}
+		return n
+	}
+	with, without := accepted(true), accepted(false)
+	if with <= without {
+		t.Fatalf("repair accepted %d of 8 rounds, no-repair %d — want strict improvement", with, without)
 	}
 }
 

@@ -31,6 +31,7 @@ var Registry = map[string]Func{
 	"lablation": LAblation,
 	"keys":      Keys,
 	"adaptive":  AdaptiveAblation,
+	"churn":     Churn,
 	"lifetime":  Lifetime,
 	"mtrees":    MTrees,
 }

@@ -164,7 +164,7 @@ func (m *MAC) SetObs(sink *obs.Sink) {
 		retries:    sink.Reg.Counter("ipda_mac_retries_total", "unicast retransmissions"),
 		acksSent:   sink.Reg.Counter("ipda_mac_acks_sent_total", "link-layer acknowledgements transmitted"),
 		duplicates: sink.Reg.Counter("ipda_mac_duplicates_total", "retransmissions suppressed at receivers"),
-		queueLen: sink.Reg.Histogram("ipda_mac_queue_depth", "per-node queue depth observed at enqueue",
+		queueLen: sink.Reg.Histogram("ipda_mac_queue_depth", "per-node queue depth observed at enqueue, including the frame just queued",
 			[]float64{0, 1, 2, 4, 8, 16, 32}),
 	}
 }
@@ -181,31 +181,35 @@ func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.queues[id]) }
 // packet from here on and assigns its Seq.
 func (m *MAC) Send(src topology.NodeID, pkt *packet.Packet) {
 	m.stats.Enqueued++
+	m.seq[src]++
+	pkt.Seq = m.seq[src]
+	m.queues[src] = append(m.queues[src], &frameState{pkt: pkt})
 	if m.obs != nil {
 		m.obs.enqueued.Inc()
 		m.obs.queueLen.Observe(float64(len(m.queues[src])))
 	}
-	m.seq[src]++
-	pkt.Seq = m.seq[src]
-	m.queues[src] = append(m.queues[src], &frameState{pkt: pkt})
 	if !m.busy[src] {
 		m.busy[src] = true
-		m.scheduleAttempt(src, 0)
+		m.scheduleAttempt(src, 0, 0)
 	}
 }
 
 // scheduleAttempt arms the next carrier-sense attempt for src's queue head
-// after an attempt-dependent random backoff.
-func (m *MAC) scheduleAttempt(src topology.NodeID, attempt int) {
-	window := m.cfg.MinWindow << uint(attempt)
-	if window > m.cfg.MaxWindow || window <= 0 {
-		window = m.cfg.MaxWindow
+// after a random backoff drawn from the contention window 2^window·MinWindow.
+// sense counts busy senses of the current transmission attempt (the drop
+// budget is MaxAttempts senses per transmission); window is the binary
+// exponential backoff exponent, which ARQ retransmissions start elevated
+// without consuming sense budget.
+func (m *MAC) scheduleAttempt(src topology.NodeID, sense, window int) {
+	w := m.cfg.MinWindow << uint(window)
+	if w > m.cfg.MaxWindow || w <= 0 {
+		w = m.cfg.MaxWindow
 	}
-	delay := eventsim.Time(m.rand.Intn(window)+1) * m.cfg.SlotTime
-	m.sim.After(delay, func() { m.attempt(src, attempt) })
+	delay := eventsim.Time(m.rand.Intn(w)+1) * m.cfg.SlotTime
+	m.sim.After(delay, func() { m.attempt(src, sense, window) })
 }
 
-func (m *MAC) attempt(src topology.NodeID, attempt int) {
+func (m *MAC) attempt(src topology.NodeID, sense, window int) {
 	q := m.queues[src]
 	if len(q) == 0 {
 		m.busy[src] = false
@@ -216,7 +220,7 @@ func (m *MAC) attempt(src topology.NodeID, attempt int) {
 		if m.obs != nil {
 			m.obs.backoffs.Inc()
 		}
-		if attempt+1 >= m.cfg.MaxAttempts {
+		if sense+1 >= m.cfg.MaxAttempts {
 			m.stats.Dropped++
 			if m.obs != nil {
 				m.obs.dropped.Inc()
@@ -224,7 +228,7 @@ func (m *MAC) attempt(src topology.NodeID, attempt int) {
 			m.dequeue(src)
 			return
 		}
-		m.scheduleAttempt(src, attempt+1)
+		m.scheduleAttempt(src, sense+1, window+1)
 		return
 	}
 	f := q[0]
@@ -268,11 +272,14 @@ func (m *MAC) checkAck(src topology.NodeID, f *frameState) {
 	if m.obs != nil {
 		m.obs.retries.Inc()
 	}
-	backoff := f.retries
-	if backoff > 5 {
-		backoff = 5
+	// A retransmission backs off from an elevated contention window but is
+	// a fresh transmission attempt: its carrier-sense budget restarts at
+	// MaxAttempts rather than inheriting the retry count as spent senses.
+	window := f.retries
+	if window > 5 {
+		window = 5
 	}
-	m.scheduleAttempt(src, backoff)
+	m.scheduleAttempt(src, 0, window)
 }
 
 func (m *MAC) dequeue(src topology.NodeID) {
@@ -283,7 +290,7 @@ func (m *MAC) dequeue(src topology.NodeID) {
 		m.queues[src] = q[:len(q)-1]
 	}
 	if len(m.queues[src]) > 0 {
-		m.scheduleAttempt(src, 0)
+		m.scheduleAttempt(src, 0, 0)
 	} else {
 		m.busy[src] = false
 	}

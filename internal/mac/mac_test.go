@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
@@ -252,6 +253,83 @@ func TestFadingForcesRetriesNotDuplicates(t *testing.T) {
 	if m.Stats().Retries == 0 {
 		t.Fatal("no retries under fading")
 	}
+}
+
+func TestRetransmissionKeepsFullSenseBudget(t *testing.T) {
+	// A frame that has burned 5 of its ARQ retries must still get the full
+	// MaxAttempts carrier-sense budget on its next transmission attempt.
+	// The old code seeded the sense counter with the retry count, so with
+	// MaxAttempts = 6 a 5th retransmission was dropped on its first busy
+	// sense. Recreate exactly the queue state checkAck reschedules from,
+	// jam the channel for MaxAttempts-1 busy senses, and require delivery.
+	net, err := topology.Grid(2, 30, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := eventsim.New()
+	medium := radio.New(sim, net, radio.PaperRate)
+	cfg := DefaultConfig()
+	cfg.MaxAttempts = 6
+	m := New(sim, medium, net.N(), cfg, rng.New(11))
+	dst := net.Neighbors(0)[0]
+	delivered := 0
+	m.SetHandler(dst, func(topology.NodeID, *packet.Packet) { delivered++ })
+	budget := uint64(cfg.MaxAttempts - 1)
+	jamBuf := make([]byte, 125) // 1 ms of airtime at PaperRate
+	var jam func()
+	jam = func() {
+		// Keep the channel busy until the frame has deferred
+		// MaxAttempts-1 times, then fall silent so the next sense wins.
+		if m.stats.Deferred >= budget {
+			return
+		}
+		medium.Transmit(dst, packet.Broadcast, jamBuf, len(jamBuf))
+		sim.After(0.001, jam)
+	}
+	sim.At(0, func() {
+		pkt := dataPacket(0, dst, 1)
+		m.seq[0]++
+		pkt.Seq = m.seq[0]
+		m.queues[0] = append(m.queues[0], &frameState{pkt: pkt, retries: 5})
+		m.busy[0] = true
+		m.scheduleAttempt(0, 0, 5) // what checkAck schedules after retry 5
+		jam()
+	})
+	sim.RunAll()
+	if m.stats.Deferred != budget {
+		t.Fatalf("Deferred = %d, want %d", m.stats.Deferred, budget)
+	}
+	if m.stats.Dropped != 0 {
+		t.Fatalf("frame dropped after %d busy senses: %+v", budget, m.Stats())
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d frames, want 1 (stats %+v)", delivered, m.Stats())
+	}
+}
+
+func TestQueueDepthObservedAfterEnqueue(t *testing.T) {
+	// The queue-depth histogram must include the frame being enqueued:
+	// three back-to-back sends from one node observe depths 1, 2, 3.
+	sim, _, m, net := setup(t, 2, 30)
+	sink := obs.NewSink()
+	m.SetObs(sink)
+	dst := net.Neighbors(0)[0]
+	sim.At(0, func() {
+		for i := uint16(1); i <= 3; i++ {
+			m.Send(0, dataPacket(0, dst, i))
+		}
+	})
+	sim.RunAll()
+	for _, s := range sink.Reg.Snapshot() {
+		if s.Name != "ipda_mac_queue_depth" {
+			continue
+		}
+		if s.Count != 3 || s.Value != 1+2+3 {
+			t.Fatalf("queue depth histogram count=%d sum=%g, want count=3 sum=6", s.Count, s.Value)
+		}
+		return
+	}
+	t.Fatal("queue depth histogram not found in snapshot")
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {

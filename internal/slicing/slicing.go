@@ -168,6 +168,14 @@ func NewAssembler() *Assembler {
 	return &Assembler{senders: make(map[topology.NodeID]int)}
 }
 
+// Reset clears the assembler in place so it can be reused for another
+// round without reallocating its sender map.
+func (a *Assembler) Reset() {
+	a.total = 0
+	a.received = 0
+	clear(a.senders)
+}
+
 // Add folds in one received (already decrypted) slice.
 func (a *Assembler) Add(from topology.NodeID, share int64) {
 	a.total += share // wrapping

@@ -14,6 +14,7 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/aggregate"
 	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
@@ -51,11 +52,37 @@ type Instance struct {
 
 	rand  *rng.Stream
 	round uint16
+	dead  []bool
 
 	childSum   []int64
 	childCount []uint32
 	sent       []bool
 }
+
+// Kill fails node id at runtime: from the next epoch on it neither sends
+// its partial aggregate nor folds receptions, so — as in TAG's epoch
+// model — its whole subtree's contribution is lost until the tree would
+// be rebuilt. It satisfies fault.Target, letting churn experiments drive
+// iPDA and the TAG baseline with one schedule.
+func (in *Instance) Kill(id topology.NodeID) {
+	if in.dead == nil {
+		in.dead = make([]bool, in.Net.N())
+	}
+	in.dead[id] = true
+}
+
+// Revive undoes Kill.
+func (in *Instance) Revive(id topology.NodeID) {
+	if in.dead != nil {
+		in.dead[id] = false
+	}
+}
+
+func (in *Instance) isDead(id topology.NodeID) bool {
+	return in.dead != nil && in.dead[id]
+}
+
+var _ fault.Target = (*Instance)(nil)
 
 // New deploys a TAG instance and builds its spanning tree.
 func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
@@ -190,7 +217,7 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 
 	for i := 0; i < n; i++ {
 		in.MAC.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
-			if p.Kind != packet.KindAggregate || p.Round != round {
+			if p.Kind != packet.KindAggregate || p.Round != round || in.isDead(self) {
 				return
 			}
 			in.childSum[self] += p.Value
@@ -201,17 +228,17 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 	maxHop := uint16(0)
 	participants := 0
 	for i := 1; i < n; i++ {
-		if in.Tree.Reached[i] {
+		if in.Tree.Reached[i] && !in.isDead(topology.NodeID(i)) {
 			participants++
-			if in.Tree.Hop[i] > maxHop {
-				maxHop = in.Tree.Hop[i]
-			}
+		}
+		if in.Tree.Reached[i] && in.Tree.Hop[i] > maxHop {
+			maxHop = in.Tree.Hop[i]
 		}
 	}
 	t0 := in.Sim.Now()
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
-		if !in.Tree.Reached[id] {
+		if !in.Tree.Reached[id] || in.isDead(id) {
 			continue
 		}
 		slot := eventsim.Time(maxHop-in.Tree.Hop[id]) * in.Cfg.AggSlot

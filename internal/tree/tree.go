@@ -215,6 +215,86 @@ func (r *Result) Disjoint() error {
 	return nil
 }
 
+// RepairOutcome summarizes one RepairDead pass.
+type RepairOutcome struct {
+	// Reattached counts parent re-assignments applied.
+	Reattached int
+	// Skipped lists live aggregators left with no usable parent; they must
+	// sit the round out (and are unavailable to their own children).
+	Skipped []topology.NodeID
+}
+
+// RepairDead performs localized tree repair: every live aggregator whose
+// parent is down is re-attached to an alternate live aggregator of its own
+// color (or a base station) that it heard a HELLO from during Phase I and
+// that sits strictly closer to the base. Choosing only strictly-shallower
+// parents keeps the parent chains acyclic and preserves the Phase III
+// deepest-first transmission order without recomputing hops; choosing only
+// same-color parents preserves node-disjointness, which is re-verified
+// before returning. Aggregators with no such candidate are reported in
+// Skipped and treated as unavailable themselves, so their children repair
+// around them too (the pass iterates to a fixpoint).
+//
+// Parents are modified in place; callers that repair per round should
+// restore the pristine Phase I parents before the next pass.
+func (r *Result) RepairDead(down func(topology.NodeID) bool) (RepairOutcome, error) {
+	var out RepairOutcome
+	n := len(r.Role)
+	avail := make([]bool, n)
+	for i := range avail {
+		avail[i] = !down(topology.NodeID(i))
+	}
+	for {
+		changed := false
+		for i := 0; i < n; i++ {
+			id := topology.NodeID(i)
+			role := r.Role[i]
+			if (role != RoleRed && role != RoleBlue) || !avail[i] {
+				continue
+			}
+			p := r.Parent[i]
+			if p != topology.None && avail[p] {
+				continue
+			}
+			cands := r.RedNeighbors[i]
+			if role == RoleBlue {
+				cands = r.BlueNeighbors[i]
+			}
+			best := topology.None
+			for _, c := range cands {
+				if !avail[c] {
+					continue
+				}
+				if cr := r.Role[c]; cr != role && cr != RoleBase {
+					continue
+				}
+				if r.Hop[c] >= r.Hop[i] {
+					continue
+				}
+				if best == topology.None || r.Hop[c] < r.Hop[best] ||
+					(r.Hop[c] == r.Hop[best] && c < best) {
+					best = c
+				}
+			}
+			if best == topology.None {
+				avail[i] = false
+				out.Skipped = append(out.Skipped, id)
+			} else {
+				r.Parent[i] = best
+				out.Reattached++
+			}
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	if err := r.Disjoint(); err != nil {
+		return out, fmt.Errorf("tree: repair violated disjointness: %w", err)
+	}
+	return out, nil
+}
+
 // nodeState is the per-node Phase I state machine.
 type nodeState struct {
 	role                  Role

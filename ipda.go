@@ -29,6 +29,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/analysis"
 	"github.com/ipda-sim/ipda/internal/attack"
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/mtree"
 	"github.com/ipda-sim/ipda/internal/obs"
@@ -65,6 +66,16 @@ type Config struct {
 	// they root both trees alongside node 0 and their collections fuse
 	// into the final totals. Promoted nodes hold no readings.
 	ExtraBaseStations []int
+	// Faults, when non-nil, injects deterministic node failures between
+	// aggregation rounds: random churn at the configured rates plus any
+	// scripted one-shot events. Base stations never fail.
+	Faults *Faults
+	// Repair enables localized tree repair: when an aggregator dies, its
+	// orphaned children deterministically re-attach to alternate live
+	// same-color neighbors (disjointness is re-verified every time), and
+	// nodes with no alternate parent sit the round out instead of feeding
+	// a dead subtree.
+	Repair bool
 	// Seed drives every random choice; equal configs reproduce runs
 	// exactly.
 	Seed uint64
@@ -104,7 +115,49 @@ func (c Config) coreConfig() core.Config {
 	for _, r := range c.ExtraBaseStations {
 		cfg.ExtraRoots = append(cfg.ExtraRoots, topology.NodeID(r))
 	}
+	cfg.Repair = c.Repair
+	if c.Faults != nil {
+		fc := c.Faults.faultConfig()
+		cfg.Faults = &fc
+	}
 	return cfg
+}
+
+// FaultEvent is one scripted failure or recovery, applied immediately
+// before the given aggregation round (0-based: round 0 fires before any
+// data round runs). Recover false crashes the node; true revives it.
+type FaultEvent struct {
+	Round   int
+	Node    int
+	Recover bool
+}
+
+// Faults is a deterministic fault schedule: per-round churn probabilities
+// plus scripted one-shot events. The same schedule (same Seed) always
+// produces the same failure trace, independent of protocol randomness, so
+// protocol variants can be compared under identical failures.
+type Faults struct {
+	// CrashRate is the per-round probability that each live node crashes.
+	CrashRate float64
+	// RecoverRate is the per-round probability that each dead node
+	// recovers.
+	RecoverRate float64
+	// Seed roots the schedule's private random streams.
+	Seed uint64
+	// Events are scripted one-shots, applied before that round's churn.
+	Events []FaultEvent
+}
+
+func (f Faults) faultConfig() fault.Config {
+	fc := fault.Config{CrashRate: f.CrashRate, RecoverRate: f.RecoverRate, Seed: f.Seed}
+	for _, e := range f.Events {
+		kind := fault.Crash
+		if e.Recover {
+			kind = fault.Recover
+		}
+		fc.Events = append(fc.Events, fault.Event{Round: e.Round, Kind: kind, Node: topology.NodeID(e.Node)})
+	}
+	return fc
 }
 
 // Kind selects an aggregation function.
@@ -180,6 +233,14 @@ type QueryResult struct {
 	RedSum, BlueSum int64
 	// Participants is the number of sensors that contributed.
 	Participants int
+	// RedContributors and BlueContributors count the participants whose
+	// planned slices all arrived on that tree in the first round — the
+	// graceful-degradation view of how complete each total is.
+	RedContributors, BlueContributors int
+	// Dead counts nodes down when the first round ran; Skipped counts
+	// live nodes that sat it out because repair found no alternate
+	// parent; Repaired counts parent re-assignments applied.
+	Dead, Skipped, Repaired int
 	// Bytes is the radio traffic the query cost.
 	Bytes uint64
 }
@@ -193,6 +254,8 @@ func fromResult(res *core.Result) *QueryResult {
 		first := res.Outcomes[0]
 		out.RedSum, out.BlueSum = first.Red, first.Blue
 		out.Participants = first.Participants
+		out.RedContributors, out.BlueContributors = first.RedContributed, first.BlueContributed
+		out.Dead, out.Skipped, out.Repaired = first.Dead, first.Skipped, first.Repaired
 		for _, o := range res.Outcomes {
 			out.Bytes += o.Bytes
 		}
@@ -267,6 +330,16 @@ func (n *Network) InjectPollution(id int, delta int64) {
 	n.inst.Pollute(topology.NodeID(id), delta)
 }
 
+// Kill fails node id at runtime: it stops slicing, assembling, and
+// aggregating until revived. With Config.Repair set, orphaned children of
+// a dead aggregator re-attach before the next round; without it, the dead
+// node's subtree contribution is lost (and the round typically rejected
+// if the loss is asymmetric across the trees).
+func (n *Network) Kill(id int) { n.inst.Kill(topology.NodeID(id)) }
+
+// Revive undoes Kill from the next round on.
+func (n *Network) Revive(id int) { n.inst.Revive(topology.NodeID(id)) }
+
 // Eavesdropper reports what a passive adversary learned from observed
 // rounds.
 type Eavesdropper struct {
@@ -336,6 +409,13 @@ func (n *TAGNetwork) Query(kind Kind, readings []int64) (*QueryResult, error) {
 func (n *TAGNetwork) Count() (*QueryResult, error) {
 	return n.Query(Count, make([]int64, n.topo.N()))
 }
+
+// Kill fails node id: per TAG's epoch model the node neither sends nor
+// folds, so its whole subtree is lost until Revive.
+func (n *TAGNetwork) Kill(id int) { n.inst.Kill(topology.NodeID(id)) }
+
+// Revive undoes Kill from the next epoch on.
+func (n *TAGNetwork) Revive(id int) { n.inst.Revive(topology.NodeID(id)) }
 
 // LocalizePolluter runs the Section III-D countermeasure against a
 // persistent DoS polluter: group-testing probe rounds over the deployment

@@ -485,3 +485,92 @@ func TestRingTraceKeepsTail(t *testing.T) {
 		t.Fatalf("tail event unexpected: %s", lines[len(lines)-2])
 	}
 }
+
+func TestFaultsAndRepairPublicAPI(t *testing.T) {
+	cfg := DefaultConfig(400)
+	cfg.Repair = true
+	cfg.Faults = &Faults{
+		CrashRate:   0.05,
+		RecoverRate: 0.25,
+		Seed:        9,
+		Events:      []FaultEvent{{Round: 0, Node: 17}, {Round: 1, Node: 17, Recover: true}},
+	}
+	net, err := Deploy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDead, sawRepair := false, false
+	for round := 0; round < 4; round++ {
+		res, err := net.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("round %d rejected under repair: |diff| %d", round, res.BlueSum-res.RedSum)
+		}
+		if res.Dead > 0 {
+			sawDead = true
+		}
+		if res.Repaired > 0 {
+			sawRepair = true
+		}
+		if res.RedContributors > res.Participants || res.BlueContributors > res.Participants {
+			t.Fatalf("round %d: contributors %d/%d exceed participants %d",
+				round, res.RedContributors, res.BlueContributors, res.Participants)
+		}
+	}
+	if !sawDead {
+		t.Fatal("fault schedule never killed a node")
+	}
+	if !sawRepair {
+		t.Fatal("repair never re-attached an orphan")
+	}
+}
+
+func TestKillRevivePublicAPI(t *testing.T) {
+	net, err := Deploy(DefaultConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := net.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Kill(5)
+	during, err := net.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during.Dead != 1 {
+		t.Fatalf("Dead = %d after Kill", during.Dead)
+	}
+	net.Revive(5)
+	after, err := net.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Dead != 0 {
+		t.Fatalf("Dead = %d after Revive", after.Dead)
+	}
+	if !before.Accepted || !after.Accepted {
+		t.Fatal("clean rounds around the kill should be accepted")
+	}
+
+	tg, err := DeployTAG(DefaultConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tg.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.Kill(5)
+	less, err := tg.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if less.Participants >= full.Participants {
+		t.Fatalf("TAG participants %d not reduced from %d by Kill", less.Participants, full.Participants)
+	}
+	tg.Revive(5)
+}

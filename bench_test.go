@@ -12,7 +12,9 @@ import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/experiments"
 	"github.com/ipda-sim/ipda/internal/harness"
+	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // benchOptions keeps each iteration meaningful but bounded.
@@ -138,6 +140,42 @@ func BenchmarkSweepPerPoint(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkTrialSetup isolates world construction — an N=400 deployment
+// plus protocol instantiation through the Phase I tree build, no query
+// rounds — to show what trial-lifetime reuse saves. The fresh variant
+// builds every world from scratch, as every trial did before the arenas;
+// the arena variant resets one long-lived world, as a sweep worker does
+// now. Both consume identical randomness, so they construct equal worlds.
+func BenchmarkTrialSetup(b *testing.B) {
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := rng.New(uint64(i) + 1)
+			net, err := topology.Random(topology.PaperConfig(400), r.Split(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.New(net, core.DefaultConfig(), r.Split(2).Uint64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		a := world.New()
+		for i := 0; i < b.N; i++ {
+			r := rng.New(uint64(i) + 1)
+			net, err := a.Deploy(topology.PaperConfig(400), r.Split(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := a.Core("setup", net, core.DefaultConfig(), r.Split(2).Uint64()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Protocol micro-benchmarks: the cost of deployment and of one query

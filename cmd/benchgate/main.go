@@ -1,0 +1,99 @@
+// Command benchgate is the allocation-regression gate CI runs on the
+// repo's headline benchmark: it executes BenchmarkFig7Overhead with
+// -benchmem, parses the measured allocs/op, and compares it against the
+// newest entry in BENCH_fig7.json's history. If the measurement exceeds
+// the recorded value by more than the tolerance (default 10%), it exits
+// non-zero with a diagnostic.
+//
+// Allocation counts — unlike wall-clock times — are deterministic for a
+// fixed toolchain, so a tight relative gate holds on shared CI machines
+// where timing gates would flap.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate [-bench BenchmarkFig7Overhead] [-history BENCH_fig7.json] [-tolerance 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+type history struct {
+	History []struct {
+		Date        string  `json:"date"`
+		Label       string  `json:"label"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"history"`
+}
+
+func main() {
+	bench := flag.String("bench", "BenchmarkFig7Overhead", "benchmark to gate (anchored exact match)")
+	file := flag.String("history", "BENCH_fig7.json", "benchmark history file; the newest entry is the reference")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative allocs/op increase over the reference")
+	benchtime := flag.String("benchtime", "3x", "-benchtime passed to go test")
+	pkg := flag.String("pkg", ".", "package holding the benchmark")
+	flag.Parse()
+
+	if err := run(*bench, *file, *tolerance, *benchtime, *pkg); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, file string, tolerance float64, benchtime, pkg string) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var h history
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return fmt.Errorf("parse %s: %w", file, err)
+	}
+	if len(h.History) == 0 {
+		return fmt.Errorf("%s has no history entries to gate against", file)
+	}
+	ref := h.History[len(h.History)-1]
+	if ref.AllocsPerOp <= 0 {
+		return fmt.Errorf("%s newest entry has no allocs_per_op", file)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+bench+"$", "-benchmem", "-benchtime", benchtime, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%v:\n%s", err, out)
+	}
+	allocs, err := parseAllocs(bench, string(out))
+	if err != nil {
+		return fmt.Errorf("%w in output:\n%s", err, out)
+	}
+
+	limit := ref.AllocsPerOp * (1 + tolerance)
+	fmt.Printf("benchgate: %s measured %d allocs/op; reference %q (%s) recorded %.0f (limit %.0f)\n",
+		bench, allocs, ref.Label, ref.Date, ref.AllocsPerOp, limit)
+	if float64(allocs) > limit {
+		return fmt.Errorf("allocation regression: %d allocs/op exceeds %.0f (%+.1f%% over the recorded %.0f)",
+			allocs, limit, 100*(float64(allocs)/ref.AllocsPerOp-1), ref.AllocsPerOp)
+	}
+	return nil
+}
+
+// parseAllocs extracts the allocs/op figure from a -benchmem result line
+// (`BenchmarkX  N  ns/op  B/op  allocs/op`), tolerating the -cpu suffix
+// go test appends to the benchmark name.
+func parseAllocs(bench, out string) (int64, error) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(bench) + `(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+[\d.]+ B/op\s+(\d+) allocs/op`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		return 0, fmt.Errorf("no -benchmem result line for %s", bench)
+	}
+	return strconv.ParseInt(m[1], 10, 64)
+}

@@ -166,6 +166,7 @@ type Instance struct {
 	dead      []bool
 	ciphers   *linksec.CipherCache // per-link sealing state over Keys
 	obs       *coreObs
+	builder   tree.Builder // reusable Phase I machinery (see Reset)
 
 	// Fault-injection and repair state. basisParent is the pristine
 	// Phase I parent vector; repair mutates Trees.Parent per round and the
@@ -189,8 +190,49 @@ type Instance struct {
 	// RoundOutcome contributor fields.
 	planned   [2][]uint16
 	delivered [2][]uint16
-	bsChild   map[packet.Color]*bsAccum
+	bsChild   [2]bsAccum // Phase III arrivals at the base station (0 red, 1 blue)
 	onQuery   func(self topology.NodeID)
+
+	// Steady-state reuse machinery: the per-node slicing plans, the
+	// candidate-filter scratch, the pooled Phase II/III send events, and
+	// the single dispatch handler shared by every node. None of it affects
+	// behavior — only where the bytes live.
+	plans      []slicePlan
+	redCands   []topology.NodeID
+	blueCands  []topology.NodeID
+	sliceFree  []*sliceEvent
+	aggFree    []*aggEvent
+	heard      []bool
+	dispatchFn mac.Handler
+}
+
+// slicePlan is one node's Phase II plan for the current round. The targets
+// and share slices are reused across rounds; active marks plans built this
+// round and flips off when the node's slicing window opens (start at most
+// once).
+type slicePlan struct {
+	targets   slicing.Targets
+	red, blue []int64
+	active    bool
+}
+
+// sliceEvent is a pooled deferred MAC send for one Phase II slice. fire is
+// built once per event and recycles the event right after Send (the MAC
+// copies the packet), so steady-state rounds schedule slices with no
+// per-slice closure or packet allocation.
+type sliceEvent struct {
+	in   *Instance
+	src  topology.NodeID
+	pkt  packet.Packet
+	fire func()
+}
+
+// aggEvent is the pooled Phase III counterpart: a deferred sendAggregate.
+type aggEvent struct {
+	in    *Instance
+	id    topology.NodeID
+	round uint16
+	fire  func()
 }
 
 // coreObs holds the protocol engine's pre-resolved instrument handles;
@@ -237,69 +279,120 @@ type assemblerPair struct {
 // Phase I, and verifies tree disjointness. All randomness derives from
 // seed, so equal inputs give byte-identical runs.
 func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
-	if err := cfg.Validate(); err != nil {
+	in := &Instance{}
+	if err := in.Reset(net, cfg, seed); err != nil {
 		return nil, err
 	}
-	root := rng.New(seed)
-	sim := eventsim.New()
-	medium := radio.New(sim, net, radio.PaperRate)
-	if cfg.LossRate > 0 {
-		medium.SetLoss(cfg.LossRate, root.Split(4))
+	return in, nil
+}
+
+// Reset re-deploys the instance over net as if freshly constructed by
+// New(net, cfg, seed) — same randomness derivation, byte-identical
+// behavior — but reusing the simulator, the radio medium, the MAC's
+// per-node tables, the cipher pool, the Phase I builder, and every
+// per-round buffer the previous deployment grew. A trial loop that holds
+// one Instance per worker and Resets it per trial runs the steady state
+// almost entirely off the allocator. Callers must not use results (Trees,
+// Run outputs' aliased state) from before the Reset afterwards.
+func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	m := mac.New(sim, medium, net.N(), cfg.MAC, root.Split(1))
+	n := net.N()
+	root := rng.New(seed)
+	if in.Sim == nil {
+		in.Sim = eventsim.New()
+		in.Medium = radio.New(in.Sim, net, radio.PaperRate)
+	} else {
+		in.Sim.Reset()
+		in.Medium.Reset(net)
+	}
+	if cfg.LossRate > 0 {
+		in.Medium.SetLoss(cfg.LossRate, root.Split(4))
+	}
+	if in.MAC == nil {
+		in.MAC = mac.New(in.Sim, in.Medium, n, cfg.MAC, root.Split(1))
+	} else {
+		in.MAC.Reset(n, cfg.MAC, root.Split(1))
+	}
 	if cfg.Obs != nil {
 		// Attach instrumentation before Phase I so tree construction is
 		// observed too. A default energy meter feeds the per-component
 		// joule counters; meters only read traffic, never shape it.
-		medium.SetObs(cfg.Obs)
-		m.SetObs(cfg.Obs)
-		if meter, err := energy.NewMeter(net.N(), energy.DefaultModel()); err == nil {
+		in.Medium.SetObs(cfg.Obs)
+		in.MAC.SetObs(cfg.Obs)
+		if meter, err := energy.NewMeter(n, energy.DefaultModel()); err == nil {
 			meter.SetObs(cfg.Obs)
-			medium.SetMeter(meter)
+			in.Medium.SetMeter(meter)
 		}
 	}
 	treeCfg := cfg.Tree
 	treeCfg.Disabled = cfg.Disabled
 	treeCfg.ExtraRoots = cfg.ExtraRoots
 	treeCfg.Obs = cfg.Obs
-	trees, err := tree.BuildDisjoint(sim, medium, m, net, treeCfg, root.Split(2))
+	trees, err := in.builder.Build(in.Sim, in.Medium, in.MAC, net, treeCfg, root.Split(2))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := trees.Disjoint(); err != nil {
-		return nil, fmt.Errorf("core: phase I produced overlapping trees: %w", err)
+		return fmt.Errorf("core: phase I produced overlapping trees: %w", err)
 	}
 	keys := cfg.Keys
 	if keys == nil {
 		keys = linksec.NewPairwise(seed ^ 0x69706461) // "ipda"
 	}
-	inst := &Instance{
-		Net:       net,
-		Cfg:       cfg,
-		Sim:       sim,
-		Medium:    medium,
-		MAC:       m,
-		Trees:     trees,
-		Keys:      keys,
-		rand:      root.Split(3),
-		polluters: make(map[topology.NodeID]int64),
-		ciphers:   linksec.NewCipherCache(keys),
+	in.Net = net
+	in.Cfg = cfg
+	in.Trees = trees
+	in.Keys = keys
+	in.rand = root.Split(3)
+	in.round = 0
+	if in.polluters == nil {
+		in.polluters = make(map[topology.NodeID]int64)
+	} else {
+		clear(in.polluters)
 	}
-	inst.basisParent = append([]topology.NodeID(nil), trees.Parent...)
+	if in.ciphers == nil {
+		in.ciphers = linksec.NewCipherCache(keys)
+	} else {
+		in.ciphers.Reset(keys)
+	}
+	in.OnSlice = nil
+	in.OnLocalShare = nil
+	in.onQuery = nil
+	if in.dead != nil {
+		if len(in.dead) == n {
+			clear(in.dead)
+		} else {
+			in.dead = nil
+		}
+	}
+	if in.skip != nil {
+		if len(in.skip) == n {
+			clear(in.skip)
+		} else {
+			in.skip = nil
+		}
+	}
+	in.basisParent = append(in.basisParent[:0], trees.Parent...)
+	in.treesDirty = false
+	in.faults = nil
+	in.faultRound = 0
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
-		inj, err := fault.NewInjector(net.N(), *cfg.Faults, cfg.ExtraRoots)
+		inj, err := fault.NewInjector(n, *cfg.Faults, cfg.ExtraRoots)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if cfg.Obs != nil {
 			inj.SetObs(cfg.Obs)
 		}
-		inst.faults = inj
+		in.faults = inj
 	}
+	in.obs = nil
 	if cfg.Obs != nil && cfg.Obs.Reg != nil {
-		inst.obs = newCoreObs(cfg.Obs.Reg)
+		in.obs = newCoreObs(cfg.Obs.Reg)
 	}
-	return inst, nil
+	return nil
 }
 
 // Pollute registers a data-pollution attacker: whenever node id forwards
@@ -422,9 +515,7 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 	sums := make([]int64, valueRounds)
 	var count uint32
 	countSpec := aggregate.SpecFor(aggregate.Count)
-	if in.contribs == nil {
-		in.contribs = make([]int64, in.Net.N())
-	}
+	in.contribs = resizeCleared(in.contribs, in.Net.N())
 	for round := 0; round < total; round++ {
 		contribs := in.contribs
 		clear(contribs)
@@ -528,36 +619,30 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 	// or, with DisseminateQuery, when the node hears the QUERY flood.
 	participants := 0
 	t0 := in.Sim.Now()
-	type plan struct {
-		targets   slicing.Targets
-		red, blue []int64
-	}
-	plans := make(map[topology.NodeID]*plan)
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
+		p := &in.plans[i]
+		p.active = false
 		if in.disabled(id) || in.skipping(id) || in.Trees.Role[id] == tree.RoleBase {
 			continue
 		}
 		role := in.Trees.Role[id]
-		redNbrs := in.keyedTargets(id, in.Trees.RedNeighbors[id])
-		blueNbrs := in.keyedTargets(id, in.Trees.BlueNeighbors[id])
-		targets, ok := slicing.ChooseTargets(id, role == tree.RoleRed, role == tree.RoleBlue,
-			redNbrs, blueNbrs, in.Cfg.Slices, in.rand)
-		if !ok {
+		in.redCands = in.keyedTargets(in.redCands[:0], id, in.Trees.RedNeighbors[id])
+		in.blueCands = in.keyedTargets(in.blueCands[:0], id, in.Trees.BlueNeighbors[id])
+		if !p.targets.Choose(id, role == tree.RoleRed, role == tree.RoleBlue,
+			in.redCands, in.blueCands, in.Cfg.Slices, in.rand) {
 			continue
 		}
-		plans[id] = &plan{
-			targets: targets,
-			red:     in.split(contribs[i]),
-			blue:    in.split(contribs[i]),
-		}
+		p.red = in.split(p.red[:0], contribs[i])
+		p.blue = in.split(p.blue[:0], contribs[i])
+		p.active = true
 	}
 	start := func(id topology.NodeID, at eventsim.Time) {
-		p, ok := plans[id]
-		if !ok {
+		p := &in.plans[id]
+		if !p.active {
 			return
 		}
-		delete(plans, id) // start at most once
+		p.active = false // start at most once
 		participants++
 		in.planned[0][id] = uint16(len(p.targets.Red))
 		in.planned[1][id] = uint16(len(p.targets.Blue))
@@ -596,7 +681,9 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 		}
 		slot := eventsim.Time(maxHop-in.Trees.Hop[id]) * in.Cfg.AggSlot
 		jitter := eventsim.Time(in.rand.Float64()) * in.Cfg.AggSlot / 2
-		in.Sim.At(t1+slot+jitter, func() { in.sendAggregate(round, id) })
+		ev := in.getAggEvent()
+		ev.id, ev.round = id, round
+		in.Sim.At(t1+slot+jitter, ev.fire)
 	}
 
 	deadline := t1 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
@@ -613,8 +700,8 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 
 	// Fuse collections across every base station: slices addressed to a
 	// root directly plus the partial sums its tree children delivered.
-	red := in.bsChild[packet.Red].sum
-	blue := in.bsChild[packet.Blue].sum
+	red := in.bsChild[0].sum
+	blue := in.bsChild[1].sum
 	for i := 0; i < n; i++ {
 		if in.Trees.Role[i] == tree.RoleBase {
 			red += in.assembled[i].red.Total()
@@ -633,8 +720,8 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 	return RoundOutcome{
 		Red:             red,
 		Blue:            blue,
-		RedCount:        in.bsChild[packet.Red].count,
-		BlueCount:       in.bsChild[packet.Blue].count,
+		RedCount:        in.bsChild[0].count,
+		BlueCount:       in.bsChild[1].count,
 		Participants:    participants,
 		Bytes:           in.Medium.TotalBytes() - startBytes,
 		Frames:          in.Medium.Stats().FramesSent - startFrames,
@@ -702,39 +789,94 @@ func (in *Instance) prepareTrees() (dead, repaired, skipped int, err error) {
 	return dead, out.Reattached, len(out.Skipped), nil
 }
 
-// resetRoundState prepares the reusable per-round buffers: they are
-// allocated on the first round and cleared in place afterwards, keeping
-// steady-state rounds off the allocator.
+// resetRoundState prepares the reusable per-round buffers: they grow (and
+// keep their contents' capacity) on demand and are cleared in place, so
+// steady-state rounds — including rounds after a Reset to a differently
+// sized network — stay off the allocator.
 func (in *Instance) resetRoundState() {
 	n := in.Net.N()
-	if in.assembled == nil {
-		in.assembled = make([]assemblerPair, n)
-		for i := range in.assembled {
-			in.assembled[i] = assemblerPair{slicing.NewAssembler(), slicing.NewAssembler()}
-		}
-		in.childSum = make([]int64, n)
-		in.childCount = make([]uint32, n)
-		in.planned = [2][]uint16{make([]uint16, n), make([]uint16, n)}
-		in.delivered = [2][]uint16{make([]uint16, n), make([]uint16, n)}
-		return
+	if cap(in.assembled) < n {
+		in.assembled = append(in.assembled[:cap(in.assembled)], make([]assemblerPair, n-cap(in.assembled))...)
 	}
+	in.assembled = in.assembled[:n]
 	for i := range in.assembled {
-		in.assembled[i].red.Reset()
-		in.assembled[i].blue.Reset()
+		if in.assembled[i].red == nil {
+			in.assembled[i] = assemblerPair{slicing.NewAssembler(), slicing.NewAssembler()}
+		} else {
+			in.assembled[i].red.Reset()
+			in.assembled[i].blue.Reset()
+		}
 	}
-	clear(in.childSum)
-	clear(in.childCount)
-	clear(in.planned[0])
-	clear(in.planned[1])
-	clear(in.delivered[0])
-	clear(in.delivered[1])
+	if cap(in.plans) < n {
+		in.plans = append(in.plans[:cap(in.plans)], make([]slicePlan, n-cap(in.plans))...)
+	}
+	in.plans = in.plans[:n]
+	in.childSum = resizeCleared(in.childSum, n)
+	in.childCount = resizeCleared(in.childCount, n)
+	in.planned[0] = resizeCleared(in.planned[0], n)
+	in.planned[1] = resizeCleared(in.planned[1], n)
+	in.delivered[0] = resizeCleared(in.delivered[0], n)
+	in.delivered[1] = resizeCleared(in.delivered[1], n)
+	in.bsChild = [2]bsAccum{}
+}
+
+// resizeCleared returns s resized to n elements, all zero, reusing its
+// backing array when it suffices.
+func resizeCleared[E int64 | uint32 | uint16 | bool](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// getAggEvent pops a pooled Phase III send event (or builds one, with its
+// fire closure, on first use). fireAggregate returns it to the pool.
+func (in *Instance) getAggEvent() *aggEvent {
+	if k := len(in.aggFree); k > 0 {
+		ev := in.aggFree[k-1]
+		in.aggFree = in.aggFree[:k-1]
+		return ev
+	}
+	ev := &aggEvent{in: in}
+	ev.fire = func() { ev.in.fireAggregate(ev) }
+	return ev
+}
+
+func (in *Instance) fireAggregate(ev *aggEvent) {
+	id, round := ev.id, ev.round
+	in.aggFree = append(in.aggFree, ev)
+	in.sendAggregate(round, id)
+}
+
+// getSliceEvent pops a pooled Phase II send event. fireSlice returns it to
+// the pool right after the MAC copies the packet out.
+func (in *Instance) getSliceEvent() *sliceEvent {
+	if k := len(in.sliceFree); k > 0 {
+		ev := in.sliceFree[k-1]
+		in.sliceFree = in.sliceFree[:k-1]
+		return ev
+	}
+	ev := &sliceEvent{in: in}
+	ev.fire = func() { ev.in.fireSlice(ev) }
+	return ev
+}
+
+func (in *Instance) fireSlice(ev *sliceEvent) {
+	in.MAC.Send(ev.src, &ev.pkt)
+	in.sliceFree = append(in.sliceFree, ev)
+	if in.obs != nil {
+		in.obs.slicesSent.Inc()
+	}
 }
 
 // floodQuery broadcasts a QUERY from the base station and lets every
 // aggregator rebroadcast it once; each node's onStart fires on first
 // reception.
 func (in *Instance) floodQuery(round uint16, onStart func(id topology.NodeID, at eventsim.Time)) {
-	heard := make([]bool, in.Net.N())
+	heard := resizeCleared(in.heard, in.Net.N())
+	in.heard = heard
 	in.onQuery = func(self topology.NodeID) {
 		if heard[self] || in.disabled(self) {
 			return
@@ -753,27 +895,26 @@ func (in *Instance) floodQuery(round uint16, onStart func(id topology.NodeID, at
 	})
 }
 
-// split produces one tree's worth of additive shares for a contribution.
-func (in *Instance) split(value int64) []int64 {
+// split appends one tree's worth of additive shares for a contribution.
+func (in *Instance) split(dst []int64, value int64) []int64 {
 	if in.Cfg.ShareSpread > 0 {
-		return slicing.SplitBounded(value, in.Cfg.Slices, in.Cfg.ShareSpread, in.rand)
+		return slicing.SplitBoundedAppend(dst, value, in.Cfg.Slices, in.Cfg.ShareSpread, in.rand)
 	}
-	return slicing.Split(value, in.Cfg.Slices, in.rand)
+	return slicing.SplitAppend(dst, value, in.Cfg.Slices, in.rand)
 }
 
-// keyedTargets filters aggregator candidates down to those the node shares
-// a link key with (a random-predistribution scheme may leave gaps).
-func (in *Instance) keyedTargets(id topology.NodeID, cands []topology.NodeID) []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(cands))
+// keyedTargets appends the aggregator candidates the node shares a link
+// key with (a random-predistribution scheme may leave gaps) to dst.
+func (in *Instance) keyedTargets(dst []topology.NodeID, id topology.NodeID, cands []topology.NodeID) []topology.NodeID {
 	for _, c := range cands {
 		if !in.availTarget(c) {
 			continue
 		}
 		if _, ok := in.ciphers.Link(id, c); ok {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
 }
 
 // scheduleSlices seals and schedules one tree's shares from src.
@@ -798,7 +939,9 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 			in.OnSlice(src, dst, color, shares[idx])
 		}
 		sealed := cipher.Seal(sliceNonce(round, src, dst, idx), shares[idx])
-		p := &packet.Packet{
+		ev := in.getSliceEvent()
+		ev.src = src
+		ev.pkt = packet.Packet{
 			Header: packet.Header{Kind: packet.KindSlice, Src: int32(src), Dst: int32(dst), Round: round},
 			Cipher: sealed.Cipher,
 			Nonce:  sealed.Nonce,
@@ -806,12 +949,7 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 			Color:  color,
 		}
 		offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
-		in.Sim.At(t0+offset, func() {
-			in.MAC.Send(src, p)
-			if in.obs != nil {
-				in.obs.slicesSent.Inc()
-			}
-		})
+		in.Sim.At(t0+offset, ev.fire)
 	}
 }
 
@@ -828,15 +966,15 @@ func (in *Instance) addShare(id topology.NodeID, color packet.Color, from topolo
 	}
 }
 
-// installReceivers wires the per-node packet handlers for one round.
+// installReceivers wires the packet handler for one round: a single
+// dispatch closure shared by every node, filtering on the current round
+// (in.round is constant while a round's events drain, so this matches the
+// former per-round captured-round closures exactly).
 func (in *Instance) installReceivers(round uint16) {
-	in.bsChild = map[packet.Color]*bsAccum{
-		packet.Red:  {},
-		packet.Blue: {},
-	}
-	for i := 0; i < in.Net.N(); i++ {
-		in.MAC.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
-			if p.Round != round {
+	_ = round // the filter reads in.round, which equals round for the whole drain
+	if in.dispatchFn == nil {
+		in.dispatchFn = func(self topology.NodeID, p *packet.Packet) {
+			if p.Round != in.round {
 				return
 			}
 			switch p.Kind {
@@ -849,7 +987,10 @@ func (in *Instance) installReceivers(round uint16) {
 					in.onQuery(self)
 				}
 			}
-		})
+		}
+	}
+	for i := 0; i < in.Net.N(); i++ {
+		in.MAC.SetHandler(topology.NodeID(i), in.dispatchFn)
 	}
 }
 
@@ -879,8 +1020,13 @@ func (in *Instance) onAggregate(self topology.NodeID, p *packet.Packet) {
 		return
 	}
 	if in.Trees.Role[self] == tree.RoleBase {
-		acc := in.bsChild[p.Color]
-		if acc == nil {
+		var acc *bsAccum
+		switch p.Color {
+		case packet.Red:
+			acc = &in.bsChild[0]
+		case packet.Blue:
+			acc = &in.bsChild[1]
+		default:
 			return
 		}
 		acc.sum += p.Value

@@ -131,6 +131,24 @@ func NewWithCap(n int) *Sim {
 	return s
 }
 
+// Reset rewinds the kernel to time zero for a fresh run while keeping its
+// backing storage: any still-scheduled events are recycled into the free
+// list (their handles are invalidated by the gen bump) and the heap keeps
+// its capacity. A Reset sim is indistinguishable from a New one — the clock,
+// sequence counter, and fired count all restart — so a run on a reused
+// kernel is byte-identical to a run on a fresh one.
+func (s *Sim) Reset() {
+	for _, ev := range s.queue {
+		ev.idx = -1
+		s.recycle(ev)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.halted = false
+}
+
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 

@@ -5,6 +5,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/tree"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // KAblation sweeps the aggregator-budget parameter k of Section III-B
@@ -28,13 +29,13 @@ func KAblation(o Options) (*Table, error) {
 	part := harness.NewAcc(s)
 	bytes := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(400, tr.Rng.Split(1))
+		net, err := deployment(tr, 400, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Tree.K = ks[tr.Point]
-		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		in, err := world.FromTrial(tr).Core("kablation", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -80,13 +81,13 @@ func AdaptiveAblation(o Options) (*Table, error) {
 	covered := harness.NewAcc(s)
 	bytes := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point/len(policies)], tr.Rng.Split(1))
+		net, err := deployment(tr, sizes[tr.Point/len(policies)], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Tree.Adaptive = policies[tr.Point%len(policies)]
-		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		in, err := world.FromTrial(tr).Core("adaptive", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}

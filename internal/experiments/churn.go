@@ -5,6 +5,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/tag"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // churnRounds is how many consecutive aggregation rounds each trial runs
@@ -40,8 +41,9 @@ func Churn(o Options) (*Table, error) {
 	accPlain := harness.NewAcc(s)
 	accTAG := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
+		arena := world.FromTrial(tr)
 		rate := rates[tr.Point]
-		net, err := deployment(400, tr.Rng.Split(1))
+		net, err := deployment(tr, 400, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
@@ -54,7 +56,7 @@ func Churn(o Options) (*Table, error) {
 			cfg := core.DefaultConfig()
 			cfg.Faults = &fcfg
 			cfg.Repair = repair
-			in, err := core.New(net, cfg, protoSeed)
+			in, err := arena.Core("churn", net, cfg, protoSeed)
 			if err != nil {
 				return err
 			}
@@ -82,7 +84,7 @@ func Churn(o Options) (*Table, error) {
 		// TAG baseline: no integrity check to accept or reject, so only
 		// accuracy is reported. Driven by its own injector replaying the
 		// same schedule (TAG has no extra base stations either).
-		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(4).Uint64())
+		tg, err := arena.Tag("churn", net, tag.DefaultConfig(), tr.Rng.Split(4).Uint64())
 		if err != nil {
 			return err
 		}

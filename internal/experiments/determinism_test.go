@@ -2,39 +2,80 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
+
+// renderTable runs one experiment and renders its table (text + CSV) for
+// byte-level comparison. Sizes and trials are kept small; the point of the
+// tests below is scheduling- and reuse-independence, not statistical power.
+func renderTable(t *testing.T, name string, workers int, fresh bool) string {
+	t.Helper()
+	o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 99, Workers: workers, FreshWorlds: fresh}
+	if name == "indist" {
+		o.Trials = 2000
+	}
+	tb, err := Run(name, o)
+	if err != nil {
+		t.Fatalf("%s workers=%d fresh=%v: %v", name, workers, fresh, err)
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("%s workers=%d fresh=%v: %v", name, workers, fresh, err)
+	}
+	return buf.String()
+}
 
 // TestEveryExperimentDeterministicAcrossWorkers is the cross-cutting
 // guarantee the harness migration buys: for every registered experiment,
 // equal Options produce byte-identical tables whether trials run on one
-// worker or race across eight. Sizes and trials are kept small; the point
-// is scheduling-independence, not statistical power.
+// worker or race across eight. Both runs use the default pooled arenas, so
+// the check also exercises reuse under worker counts that hand one arena
+// trials of different network sizes back to back.
 func TestEveryExperimentDeterministicAcrossWorkers(t *testing.T) {
-	render := func(name string, workers int) string {
-		o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 99, Workers: workers}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seq := renderTable(t, name, 1, false)
+			par := renderTable(t, name, 8, false)
+			if seq != par {
+				t.Errorf("table differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestEveryExperimentReuseMatchesFresh is the arena contract: resetting a
+// worker's pooled world must be indistinguishable from building a fresh one,
+// for every registered experiment. The FreshWorlds run constructs every
+// deployment and protocol instance from scratch; the pooled run reuses one
+// arena per worker across all of its trials. The tables must match
+// structurally (reflect.DeepEqual over rows, columns, and notes).
+func TestEveryExperimentReuseMatchesFresh(t *testing.T) {
+	run := func(name string, fresh bool) *Table {
+		o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 7, Workers: 2, FreshWorlds: fresh}
 		if name == "indist" {
 			o.Trials = 2000
 		}
 		tb, err := Run(name, o)
 		if err != nil {
-			t.Fatalf("%s workers=%d: %v", name, workers, err)
+			t.Fatalf("%s fresh=%v: %v", name, fresh, err)
 		}
-		var buf bytes.Buffer
-		tb.Fprint(&buf)
-		if err := tb.WriteCSV(&buf); err != nil {
-			t.Fatalf("%s workers=%d: %v", name, workers, err)
-		}
-		return buf.String()
+		return tb
 	}
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			seq := render(name, 1)
-			par := render(name, 8)
-			if seq != par {
-				t.Errorf("table differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", seq, par)
+			pooled := run(name, false)
+			fresh := run(name, true)
+			if !reflect.DeepEqual(pooled, fresh) {
+				var pb, fb bytes.Buffer
+				pooled.Fprint(&pb)
+				fresh.Fprint(&fb)
+				t.Errorf("table differs between pooled arenas and fresh worlds:\n--- pooled ---\n%s--- fresh ---\n%s", pb.String(), fb.String())
 			}
 		})
 	}

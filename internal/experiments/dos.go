@@ -5,6 +5,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // DoS reproduces the Section III-D claim that a persistent polluter can be
@@ -25,15 +26,18 @@ func DoS(o Options) (*Table, error) {
 	rounds := harness.NewAcc(s)
 	correct := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
+		// Probe rounds use their instance one at a time, so all of a
+		// trial's probes share one arena slot.
 		factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
 			cfg := core.DefaultConfig()
 			cfg.Tree.Adaptive = false
 			cfg.Disabled = disabled
-			return core.New(net, cfg, seed)
+			return arena.Core("dos", net, cfg, seed)
 		}
 		// A well-connected attacker, as a compromised aggregator near
 		// traffic would be.

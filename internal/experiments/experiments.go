@@ -22,6 +22,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // Options control an experiment sweep.
@@ -44,6 +45,12 @@ type Options struct {
 	// never enter the Table output, so tables stay byte-identical with
 	// and without a sink.
 	Obs *obs.Sink
+	// FreshWorlds disables the per-worker simulation arenas: every trial
+	// constructs its deployment and protocol instances from scratch
+	// instead of resetting the worker's pooled ones. Output is identical
+	// either way (the arenas' contract); this exists for A/B verification
+	// and leak hunting.
+	FreshWorlds bool
 }
 
 func (o Options) sizes() []int {
@@ -64,7 +71,7 @@ func (o Options) trials(def int) int {
 // path, points is the axis length, and def is the experiment's default
 // trial count (overridden by Options.Trials).
 func (o Options) sweep(id string, points, def int) harness.Sweep {
-	return harness.Sweep{
+	s := harness.Sweep{
 		ID:       id,
 		Seed:     o.Seed,
 		Points:   points,
@@ -73,6 +80,10 @@ func (o Options) sweep(id string, points, def int) harness.Sweep {
 		Progress: o.Progress,
 		Obs:      o.Obs,
 	}
+	if !o.FreshWorlds {
+		s.WorkerState = func() any { return world.New() }
+	}
+	return s
 }
 
 // fixedSweep is sweep with a trial count the user cannot override, for
@@ -157,9 +168,10 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// deployment builds the paper's uniform random deployment for one trial.
-func deployment(nodes int, r *rng.Stream) (*topology.Network, error) {
-	return topology.Random(topology.PaperConfig(nodes), r)
+// deployment builds the paper's uniform random deployment for one trial,
+// through the trial worker's arena when the sweep carries one.
+func deployment(tr *harness.T, nodes int, r *rng.Stream) (*topology.Network, error) {
+	return world.FromTrial(tr).Deploy(topology.PaperConfig(nodes), r)
 }
 
 // f formats a float compactly for table cells.

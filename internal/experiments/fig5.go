@@ -9,6 +9,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // fig5Network mirrors the paper's Figure 5 scenario: 1000 nodes on a
@@ -55,11 +56,12 @@ func Fig5(o Options) (*Table, error) {
 	s := o.sweep("fig5", len(pxs), 6)
 	empirical := harness.NewAcc(s)
 	err = s.Run(func(tr *harness.T) error {
-		net, err := topology.Random(topology.Config{Nodes: 400, FieldSide: 340, Range: 50}, tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := arena.Deploy(topology.Config{Nodes: 400, FieldSide: 340, Range: 50}, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
-		in, err := core.New(net, core.DefaultConfig(), tr.Rng.Uint64())
+		in, err := arena.Core("fig5", net, core.DefaultConfig(), tr.Rng.Uint64())
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/harness"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // Fig6 reproduces Figure 6: the COUNT aggregate reported by the red and
@@ -33,17 +34,20 @@ func Fig6(o Options) (*Table, error) {
 	blue2 := harness.NewAcc(s)
 	diff2 := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
+		// The three replays run strictly one after another, so a single
+		// arena slot serves them all.
 		run := func(l int, window float64) (red, blue float64, err error) {
 			cfg := core.DefaultConfig()
 			cfg.Slices = l
 			if window > 0 {
 				cfg.SliceWindow = eventsim.Time(window)
 			}
-			in, err := core.New(net, cfg, tr.Rng.Split(uint64(l)*7+uint64(window*100)).Uint64())
+			in, err := arena.Core("fig6", net, cfg, tr.Rng.Split(uint64(l)*7+uint64(window*100)).Uint64())
 			if err != nil {
 				return 0, 0, err
 			}

@@ -8,6 +8,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/packet"
 	"github.com/ipda-sim/ipda/internal/tag"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // trafficOut is one trial's byte/frame accounting for one protocol.
@@ -47,12 +48,13 @@ func Fig7(o Options) (*Table, error) {
 	l2Bytes := harness.NewAcc(s)
 	l2Frames := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
 		// TAG.
-		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		tg, err := arena.Tag("fig7", net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -66,7 +68,11 @@ func Fig7(o Options) (*Table, error) {
 		for _, l := range []int{1, 2} {
 			cfg := core.DefaultConfig()
 			cfg.Slices = l
-			in, err := core.New(net, cfg, tr.Rng.Split(uint64(10+l)).Uint64())
+			slot := "fig7/l1"
+			if l == 2 {
+				slot = "fig7/l2"
+			}
+			in, err := arena.Core(slot, net, cfg, tr.Rng.Split(uint64(10+l)).Uint64())
 			if err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/tag"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // Fig8 reproduces Figure 8: (a) fraction of nodes covered by both trees,
@@ -34,8 +35,9 @@ func Fig8(o Options) (*Table, error) {
 	acc2 := harness.NewAcc(s)
 	accTag := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
+		arena := world.FromTrial(tr)
 		n := sizes[tr.Point]
-		net, err := deployment(n, tr.Rng.Split(1))
+		net, err := deployment(tr, n, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
@@ -43,7 +45,9 @@ func Fig8(o Options) (*Table, error) {
 		for _, l := range []int{1, 2} {
 			cfg := core.DefaultConfig()
 			cfg.Slices = l
-			in, err := core.New(net, cfg, tr.Rng.Split(uint64(l)).Uint64())
+			// One slot serves both l values: each instance's metrics are
+			// read before the next l resets the slot.
+			in, err := arena.Core("fig8", net, cfg, tr.Rng.Split(uint64(l)).Uint64())
 			if err != nil {
 				return err
 			}
@@ -64,7 +68,7 @@ func Fig8(o Options) (*Table, error) {
 				acc2.Add(tr, acc)
 			}
 		}
-		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(7).Uint64())
+		tg, err := arena.Tag("fig8", net, tag.DefaultConfig(), tr.Rng.Split(7).Uint64())
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // LAblation sweeps the slice count l — the paper's central tuning knob
@@ -30,13 +31,13 @@ func LAblation(o Options) (*Table, error) {
 	part := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
 		l := ls[tr.Point]
-		net, err := deployment(400, tr.Rng.Split(1))
+		net, err := deployment(tr, 400, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.Slices = l
-		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		in, err := world.FromTrial(tr).Core("lablation", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/tag"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // Lifetime quantifies the energy cost of iPDA's protections — the paper's
@@ -33,13 +34,16 @@ func Lifetime(o Options) (*Table, error) {
 	tagDrain := harness.NewAcc(s)
 	ipdaDrain := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
 		model := energy.DefaultModel()
 
-		tg, err := tag.New(net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		// Meters attach after construction: Reset rewires the medium, so a
+		// reused instance starts each trial meterless either way.
+		tg, err := arena.Tag("lifetime", net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -56,7 +60,7 @@ func Lifetime(o Options) (*Table, error) {
 		}
 		tagMeter.ChargeIdle(float64(tg.Sim.Now() - tagStart))
 
-		in, err := core.New(net, core.DefaultConfig(), tr.Rng.Split(3).Uint64())
+		in, err := arena.Core("lifetime", net, core.DefaultConfig(), tr.Rng.Split(3).Uint64())
 		if err != nil {
 			return err
 		}

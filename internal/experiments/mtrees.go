@@ -4,6 +4,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/mtree"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // MTrees evaluates the m > 2 generalization Section III-B sketches:
@@ -32,16 +33,19 @@ func MTrees(o Options) (*Table, error) {
 	outvoted := harness.NewAcc(s)
 	identified := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := topology.Random(topology.PaperConfig(sizes[tr.Point]), tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
+		// The three m values run strictly one after another, so they can
+		// share a single arena slot.
 		for mi, m := range []int{2, 3, 4} {
 			cfg := mtree.DefaultConfig(m)
 			if m > cfg.K {
 				cfg.K = m
 			}
-			in, err := mtree.New(net, cfg, tr.Rng.Split(uint64(m)).Uint64())
+			in, err := arena.MTree("mtrees", net, cfg, tr.Rng.Split(uint64(m)).Uint64())
 			if err != nil {
 				return err
 			}

@@ -4,6 +4,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/tree"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // Pollution reproduces the integrity claim of Sections III-D and IV-A.4:
@@ -26,11 +27,11 @@ func Pollution(o Options) (*Table, error) {
 	detected := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
 		delta := deltas[tr.Point]
-		net, err := deployment(400, tr.Rng.Split(1))
+		net, err := deployment(tr, 400, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
-		in, err := core.New(net, core.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		in, err := world.FromTrial(tr).Core("pollution", net, core.DefaultConfig(), tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -80,7 +81,8 @@ func ThSweep(o Options) (*Table, error) {
 	falseRej := harness.NewAcc(s)
 	miss := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(400, tr.Rng.Split(1))
+		arena := world.FromTrial(tr)
+		net, err := deployment(tr, 400, tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
@@ -88,7 +90,7 @@ func ThSweep(o Options) (*Table, error) {
 		cfg.Threshold = ths[tr.Point]
 		cfg.SliceWindow = 0.1 // congested: honest losses happen
 		// Clean round.
-		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		in, err := arena.Core("th/clean", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -97,7 +99,7 @@ func ThSweep(o Options) (*Table, error) {
 			return err
 		}
 		// Attacked round on a fresh instance (same topology).
-		in2, err := core.New(net, cfg, tr.Rng.Split(3).Uint64())
+		in2, err := arena.Core("th/attacked", net, cfg, tr.Rng.Split(3).Uint64())
 		if err != nil {
 			return err
 		}

@@ -23,7 +23,7 @@ func Table1(o Options) (*Table, error) {
 	s := o.sweep("table1", len(sizes), 20)
 	degree := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point], tr.Rng)
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng)
 		if err != nil {
 			return err
 		}

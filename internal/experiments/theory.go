@@ -8,6 +8,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
 )
 
 // CoverageBound reproduces the Section IV-A.1 analysis: the Equation (10)
@@ -35,7 +36,7 @@ func CoverageBound(o Options) (*Table, error) {
 	expected := harness.NewAcc(s)
 	measured := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
-		net, err := deployment(sizes[tr.Point], tr.Rng.Split(1))
+		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
 		if err != nil {
 			return err
 		}
@@ -45,7 +46,7 @@ func CoverageBound(o Options) (*Table, error) {
 		}
 		cfg := core.DefaultConfig()
 		cfg.Tree.Adaptive = false // pr = pb = 0.5, the analysis' model
-		in, err := core.New(net, cfg, tr.Rng.Split(2).Uint64())
+		in, err := world.FromTrial(tr).Core("coverage", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}

@@ -72,14 +72,25 @@ type GridIndex struct {
 // NewGridIndex builds an index over points with cells sized for queries of
 // the given radius. The radius must be positive.
 func NewGridIndex(bounds Rect, points []Point, radius float64) *GridIndex {
+	g := &GridIndex{}
+	g.Rebuild(bounds, points, radius)
+	return g
+}
+
+// Rebuild reinitializes g over a new point set, reusing the per-cell
+// backing arrays from previous builds: an index that is rebuilt repeatedly
+// over similarly sized deployments stops allocating once the cell grid has
+// grown to its steady-state shape. Cell contents are identical to a fresh
+// NewGridIndex over the same inputs (insertion in point-index order), so
+// query results do not depend on the index's history. The radius must be
+// positive.
+func (g *GridIndex) Rebuild(bounds Rect, points []Point, radius float64) {
 	if radius <= 0 {
 		panic("geom: NewGridIndex radius must be positive")
 	}
-	g := &GridIndex{
-		bounds:   bounds,
-		cellSize: radius,
-		points:   points,
-	}
+	g.bounds = bounds
+	g.cellSize = radius
+	g.points = points
 	g.cols = int(math.Ceil(bounds.Width()/radius)) + 1
 	g.rows = int(math.Ceil(bounds.Height()/radius)) + 1
 	if g.cols < 1 {
@@ -88,12 +99,18 @@ func NewGridIndex(bounds Rect, points []Point, radius float64) *GridIndex {
 	if g.rows < 1 {
 		g.rows = 1
 	}
-	g.cells = make([][]int32, g.cols*g.rows)
+	ncells := g.cols * g.rows
+	if cap(g.cells) < ncells {
+		g.cells = append(g.cells[:cap(g.cells)], make([][]int32, ncells-cap(g.cells))...)
+	}
+	g.cells = g.cells[:ncells]
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
 	for i, p := range points {
 		c := g.cellOf(p)
 		g.cells[c] = append(g.cells[c], int32(i))
 	}
-	return g
 }
 
 func (g *GridIndex) cellOf(p Point) int {

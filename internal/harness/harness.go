@@ -64,6 +64,15 @@ type Sweep struct {
 	// trials/sec gauges. Wall-clock never reaches experiment tables, so
 	// the determinism contract is unaffected.
 	Obs *obs.Sink
+	// WorkerState, when non-nil, is called once per worker goroutine
+	// before it takes its first trial; the returned value is handed to
+	// every trial that worker runs via T.State. It is the hook for
+	// per-worker arenas (reusable simulation worlds): state lives as long
+	// as the worker, is never shared between workers, and must not affect
+	// trial results — a trial must be a pure function of (Point, Trial,
+	// Rng) whether State is fresh or has served a thousand prior trials,
+	// which is what keeps Workers=1 and Workers=N byte-identical.
+	WorkerState func() any
 }
 
 // T is the execution context handed to one trial.
@@ -77,6 +86,10 @@ type T struct {
 	// Ctx is done once the sweep is cancelled by another trial's
 	// failure; long trials may poll it to stop early.
 	Ctx context.Context
+	// State is this worker's long-lived state from Sweep.WorkerState
+	// (nil when the sweep has none). Trials on the same worker see the
+	// same value; trials on different workers never share one.
+	State any
 }
 
 func (s Sweep) workers() int {
@@ -131,6 +144,10 @@ func (s Sweep) Run(trial func(t *T) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var state any
+			if s.WorkerState != nil {
+				state = s.WorkerState()
+			}
 			for idx := range next {
 				if ctx.Err() != nil {
 					continue // cancelled: drain the queue
@@ -141,6 +158,7 @@ func (s Sweep) Run(trial func(t *T) error) error {
 					Trial: tr,
 					Rng:   root.SplitPath(uint64(point)+1, uint64(tr)+1),
 					Ctx:   ctx,
+					State: state,
 				})
 				mu.Lock()
 				if err != nil {

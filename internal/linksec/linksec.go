@@ -433,11 +433,29 @@ func (c *Cipher) DecryptTo(src []byte) (int64, error) {
 type CipherCache struct {
 	scheme Scheme
 	links  map[uint64]*Cipher // nil value = no shared key
+	free   []*Cipher          // retired ciphers, rebound on demand
 }
 
 // NewCipherCache creates an empty cache over scheme.
 func NewCipherCache(scheme Scheme) *CipherCache {
 	return &CipherCache{scheme: scheme, links: make(map[uint64]*Cipher)}
+}
+
+// Reset rebinds the cache to a new scheme and empties it, retiring every
+// cached Cipher into a free pool instead of dropping it: the next run's
+// Link calls pop a pooled cipher and rebind its key rather than building a
+// fresh SHA-256 hasher per link. A Cipher's observable behavior is a pure
+// function of its current key (every operation starts with a hasher reset),
+// so which pooled cipher serves which link never shows in the output. The
+// map's buckets survive the clear, so steady-state lookups stop allocating.
+func (cc *CipherCache) Reset(scheme Scheme) {
+	cc.scheme = scheme
+	for _, c := range cc.links {
+		if c != nil {
+			cc.free = append(cc.free, c)
+		}
+	}
+	clear(cc.links)
 }
 
 // Link returns the cipher for the a–b link, or ok=false when the scheme
@@ -456,7 +474,15 @@ func (cc *CipherCache) Link(a, b topology.NodeID) (*Cipher, bool) {
 		cc.links[id] = nil
 		return nil, false
 	}
-	c := NewCipher(key)
+	var c *Cipher
+	if n := len(cc.free); n > 0 {
+		c = cc.free[n-1]
+		cc.free[n-1] = nil
+		cc.free = cc.free[:n-1]
+		c.key = key
+	} else {
+		c = NewCipher(key)
+	}
 	cc.links[id] = c
 	return c, true
 }

@@ -22,7 +22,10 @@ import (
 )
 
 // Handler receives frames the MAC delivers upward (ACKs and duplicate
-// retransmissions are filtered out).
+// retransmissions are filtered out). The packet points into MAC-owned
+// scratch and is valid only for the duration of the call: a handler that
+// needs the packet afterwards must copy it by value. Delivering the scratch
+// directly keeps the receive path allocation-free.
 type Handler func(self topology.NodeID, p *packet.Packet)
 
 // Config are the CSMA/ARQ parameters. The defaults fit the paper's 1 Mbps
@@ -60,8 +63,11 @@ type Stats struct {
 	Duplicates uint64 // retransmissions suppressed at receivers
 }
 
+// frameState is one queued frame. The packet lives in the struct by value
+// — the MAC copies at enqueue — and the struct itself recycles through a
+// per-MAC free list, so a steady stream of sends allocates nothing.
 type frameState struct {
-	pkt     *packet.Packet
+	pkt     packet.Packet
 	retries int
 }
 
@@ -78,6 +84,7 @@ type MAC struct {
 	rand     *rng.Stream
 	handlers []Handler
 	queues   [][]*frameState
+	fsFree   []*frameState // recycled frame records
 	busy     []bool
 	seq      []uint16
 	// awaiting[i] is the seq the pending unicast of node i waits an ACK
@@ -96,42 +103,192 @@ type MAC struct {
 	// buffer is recycled across sends instead of allocated per frame.
 	txbuf  [][]byte
 	ackbuf [][]byte
-	// rxScratch is the decode target for every received frame; frames
-	// delivered upward are copied out since handlers may retain them.
+	// rxScratch is the decode target for every received frame. Upward
+	// deliveries hand the scratch to the handler directly (see Handler).
 	rxScratch packet.Packet
+	// recvFn is the single receiver closure shared by every node; the
+	// medium passes the receiving node in, so per-node closures would be n
+	// identical copies.
+	recvFn radio.Receiver
+
+	// Prebuilt per-node event closures with argument slots. The MAC's state
+	// machine keeps at most ONE of each kind pending per node (Send only
+	// arms an attempt when the node is idle; retries, ACK checks, and
+	// post-broadcast dequeues are each scheduled from the event that retires
+	// their predecessor), so a single argument slot per node suffices. The
+	// armed flags guard that invariant: if it ever broke, scheduling falls
+	// back to a one-off closure with identical behavior instead of
+	// clobbering the pending event's arguments.
+	attemptFn     []func()
+	deqFn         []func()
+	checkAckFn    []func()
+	ackFn         []func()
+	attemptSense  []int
+	attemptWindow []int
+	attemptArmed  []bool
+	ackDst        []int32
+	ackSeq        []uint16
+	ackArmed      []bool
 }
 
 // New creates a MAC over medium for a network of n nodes and installs
 // itself as the medium receiver for every node. Protocol layers must
 // register their upcalls with SetHandler, not with the medium directly.
 func New(sim *eventsim.Sim, medium *radio.Medium, n int, cfg Config, rand *rng.Stream) *MAC {
+	m := &MAC{
+		sim:     sim,
+		medium:  medium,
+		lastSeq: make(map[pairKey]uint16),
+	}
+	m.recvFn = func(self topology.NodeID, frame []byte) { m.onReceive(self, frame) }
+	m.Reset(n, cfg, rand)
+	return m
+}
+
+// Reset returns the MAC to its post-New state for a new run over the same
+// sim/medium pair, reusing all per-node tables, frame records, and event
+// closures. Queued frames from the previous run are recycled, counters and
+// the duplicate-suppression map are cleared (keeping their storage), and
+// the shared receiver closure is reinstalled on the medium (which a
+// medium Reset detaches). Handlers and the obs sink are dropped — the
+// owning protocol stack rewires them, exactly as after New.
+func (m *MAC) Reset(n int, cfg Config, rand *rng.Stream) {
 	if cfg.SlotTime <= 0 || cfg.MinWindow <= 0 || cfg.MaxWindow < cfg.MinWindow ||
 		cfg.MaxAttempts <= 0 || cfg.RetryLimit < 0 || cfg.SIFS <= 0 {
 		panic("mac: invalid config")
 	}
-	m := &MAC{
-		sim:      sim,
-		medium:   medium,
-		cfg:      cfg,
-		rand:     rand,
-		handlers: make([]Handler, n),
-		queues:   make([][]*frameState, n),
-		busy:     make([]bool, n),
-		seq:      make([]uint16, n),
-		awaiting: make([]uint16, n),
-		waiting:  make([]bool, n),
-		acked:    make([]bool, n),
-		lastSeq:  make(map[pairKey]uint16),
-		txbuf:    make([][]byte, n),
-		ackbuf:   make([][]byte, n),
+	m.cfg = cfg
+	m.rand = rand
+	for i := range m.queues {
+		for _, f := range m.queues[i] {
+			m.putFrame(f)
+		}
+		m.queues[i] = m.queues[i][:0]
+	}
+	m.queues = resizeQueues(m.queues, n)
+	m.handlers = resizeHandlers(m.handlers, n)
+	m.busy = resizeBools(m.busy, n)
+	m.seq = resizeU16(m.seq, n)
+	m.awaiting = resizeU16(m.awaiting, n)
+	m.waiting = resizeBools(m.waiting, n)
+	m.acked = resizeBools(m.acked, n)
+	m.txbuf = resizeBufs(m.txbuf, n)
+	m.ackbuf = resizeBufs(m.ackbuf, n)
+	clear(m.lastSeq)
+	m.stats = Stats{}
+	m.obs = nil
+
+	m.attemptFn = resizeFns(m.attemptFn, n)
+	m.deqFn = resizeFns(m.deqFn, n)
+	m.checkAckFn = resizeFns(m.checkAckFn, n)
+	m.ackFn = resizeFns(m.ackFn, n)
+	m.attemptSense = resizeInts(m.attemptSense, n)
+	m.attemptWindow = resizeInts(m.attemptWindow, n)
+	m.attemptArmed = resizeBools(m.attemptArmed, n)
+	m.ackDst = resizeI32(m.ackDst, n)
+	m.ackSeq = resizeU16(m.ackSeq, n)
+	m.ackArmed = resizeBools(m.ackArmed, n)
+	for i := range m.attemptFn {
+		if m.attemptFn[i] == nil {
+			id := topology.NodeID(i)
+			m.attemptFn[i] = func() { m.fireAttempt(id) }
+			m.deqFn[i] = func() { m.dequeue(id) }
+			m.checkAckFn[i] = func() { m.checkAck(id) }
+			m.ackFn[i] = func() { m.fireAck(id) }
+		}
 	}
 	for i := 0; i < n; i++ {
-		id := topology.NodeID(i)
-		medium.SetReceiver(id, func(self topology.NodeID, frame []byte) {
-			m.onReceive(self, frame)
-		})
+		m.medium.SetReceiver(topology.NodeID(i), m.recvFn)
 	}
-	return m
+}
+
+// getFrame pops a recycled frame record or allocates one.
+func (m *MAC) getFrame() *frameState {
+	if n := len(m.fsFree); n > 0 {
+		f := m.fsFree[n-1]
+		m.fsFree[n-1] = nil
+		m.fsFree = m.fsFree[:n-1]
+		return f
+	}
+	return &frameState{}
+}
+
+func (m *MAC) putFrame(f *frameState) {
+	m.fsFree = append(m.fsFree, f)
+}
+
+// The resize helpers reslice in place when capacity allows (clearing the
+// live window) and allocate only on growth, so per-node tables reach a
+// steady state after the first few runs at a given size. Closure and
+// buffer tables deliberately keep their old entries on regrowth: closures
+// stay valid across runs and buffers are overwritten before use.
+
+func resizeQueues(s [][]*frameState, n int) [][]*frameState {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([][]*frameState, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func resizeHandlers(s []Handler, n int) []Handler {
+	if cap(s) < n {
+		return make([]Handler, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeU16(s []uint16, n int) []uint16 {
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeBufs(s [][]byte, n int) [][]byte {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([][]byte, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+func resizeFns(s []func(), n int) []func() {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]func(), n-cap(s))...)
+	}
+	return s[:n]
 }
 
 // SetHandler installs the upward delivery callback for a node.
@@ -177,13 +334,17 @@ func (m *MAC) Stats() Stats { return m.stats }
 func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.queues[id]) }
 
 // Send enqueues a frame for transmission from src; pkt.Dst selects unicast
-// (reliable, ARQ) or packet.Broadcast (fire-and-forget). The MAC owns the
-// packet from here on and assigns its Seq.
+// (reliable, ARQ) or packet.Broadcast (fire-and-forget). The frame is
+// copied at enqueue — the caller keeps pkt and may reuse it immediately —
+// and the MAC assigns the copy's Seq.
 func (m *MAC) Send(src topology.NodeID, pkt *packet.Packet) {
 	m.stats.Enqueued++
 	m.seq[src]++
-	pkt.Seq = m.seq[src]
-	m.queues[src] = append(m.queues[src], &frameState{pkt: pkt})
+	f := m.getFrame()
+	f.pkt = *pkt
+	f.pkt.Seq = m.seq[src]
+	f.retries = 0
+	m.queues[src] = append(m.queues[src], f)
 	if m.obs != nil {
 		m.obs.enqueued.Inc()
 		m.obs.queueLen.Observe(float64(len(m.queues[src])))
@@ -206,7 +367,22 @@ func (m *MAC) scheduleAttempt(src topology.NodeID, sense, window int) {
 		w = m.cfg.MaxWindow
 	}
 	delay := eventsim.Time(m.rand.Intn(w)+1) * m.cfg.SlotTime
-	m.sim.After(delay, func() { m.attempt(src, sense, window) })
+	if m.attemptArmed[src] {
+		// Invariant breach fallback: never clobber a pending attempt's slot.
+		m.sim.After(delay, func() { m.attempt(src, sense, window) })
+		return
+	}
+	m.attemptArmed[src] = true
+	m.attemptSense[src] = sense
+	m.attemptWindow[src] = window
+	m.sim.After(delay, m.attemptFn[src])
+}
+
+// fireAttempt is the prebuilt attempt closure's body: it releases the
+// node's argument slot and runs the attempt with the armed arguments.
+func (m *MAC) fireAttempt(src topology.NodeID) {
+	m.attemptArmed[src] = false
+	m.attempt(src, m.attemptSense[src], m.attemptWindow[src])
 }
 
 func (m *MAC) attempt(src topology.NodeID, sense, window int) {
@@ -241,7 +417,7 @@ func (m *MAC) attempt(src topology.NodeID, sense, window int) {
 	}
 	air := m.medium.Duration(size)
 	if f.pkt.Dst == packet.Broadcast {
-		m.sim.After(air, func() { m.dequeue(src) })
+		m.sim.After(air, m.deqFn[src])
 		return
 	}
 	// Reliable unicast: wait data airtime + SIFS + ACK airtime + guard.
@@ -250,15 +426,25 @@ func (m *MAC) attempt(src topology.NodeID, sense, window int) {
 	m.acked[src] = false
 	ackAir := m.medium.Duration((&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size())
 	timeout := air + m.cfg.SIFS + ackAir + 4*m.cfg.SlotTime
-	m.sim.After(timeout, func() { m.checkAck(src, f) })
+	m.sim.After(timeout, m.checkAckFn[src])
 }
 
-func (m *MAC) checkAck(src topology.NodeID, f *frameState) {
+// checkAck resolves the ARQ wait for src's in-service frame. The frame is
+// the queue head: nothing dequeues while the node waits for an ACK and
+// Send only appends, so the head cannot move between the transmission and
+// this timeout.
+func (m *MAC) checkAck(src topology.NodeID) {
 	m.waiting[src] = false
 	if m.acked[src] {
 		m.dequeue(src)
 		return
 	}
+	q := m.queues[src]
+	if len(q) == 0 {
+		m.busy[src] = false
+		return
+	}
+	f := q[0]
 	f.retries++
 	if f.retries > m.cfg.RetryLimit {
 		m.stats.Dropped++
@@ -285,6 +471,7 @@ func (m *MAC) checkAck(src topology.NodeID, f *frameState) {
 func (m *MAC) dequeue(src topology.NodeID) {
 	q := m.queues[src]
 	if len(q) > 0 {
+		m.putFrame(q[0])
 		copy(q, q[1:])
 		q[len(q)-1] = nil
 		m.queues[src] = q[:len(q)-1]
@@ -298,9 +485,9 @@ func (m *MAC) dequeue(src topology.NodeID) {
 
 // onReceive handles every frame decoded at a node: ACK matching, ACK
 // generation, duplicate suppression, and upward delivery. Frames decode
-// into a shared scratch packet; only frames delivered upward are copied to
-// the heap (handlers may retain them), so ACKs and duplicates cost no
-// allocation.
+// into a shared scratch packet which is handed to the handler directly
+// (see Handler: valid only during the call), so the whole receive path —
+// ACKs, duplicates, and deliveries alike — costs no allocation.
 func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
 	p := &m.rxScratch
 	if err := packet.DecodeFrame(p, frame); err != nil {
@@ -314,25 +501,19 @@ func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
 	}
 	if p.Dst != packet.Broadcast {
 		// Acknowledge one SIFS later if the radio is free; a suppressed
-		// ACK just means the sender retransmits.
+		// ACK just means the sender retransmits. At most one ACK can be
+		// pending per node — two decodes cannot complete within one SIFS of
+		// each other (overlapping frames collide) — so the prebuilt closure
+		// slot applies, with the same one-off fallback as scheduleAttempt.
 		ackDst, ackSeq := p.Src, p.Seq
-		m.sim.After(m.cfg.SIFS, func() {
-			if m.medium.Busy(self) {
-				return
-			}
-			ack := packet.Packet{Header: packet.Header{
-				Kind: packet.KindAck,
-				Src:  int32(self),
-				Dst:  ackDst,
-				Seq:  ackSeq,
-			}}
-			m.ackbuf[self] = ack.AppendEncode(m.ackbuf[self][:0])
-			m.medium.Transmit(self, ack.Dst, m.ackbuf[self], ack.Size())
-			m.stats.AcksSent++
-			if m.obs != nil {
-				m.obs.acksSent.Inc()
-			}
-		})
+		if m.ackArmed[self] {
+			m.sim.After(m.cfg.SIFS, func() { m.sendAck(self, ackDst, ackSeq) })
+		} else {
+			m.ackArmed[self] = true
+			m.ackDst[self] = ackDst
+			m.ackSeq[self] = ackSeq
+			m.sim.After(m.cfg.SIFS, m.ackFn[self])
+		}
 		key := pairKey{topology.NodeID(p.Src), self}
 		if last, seen := m.lastSeq[key]; seen && last == p.Seq {
 			m.stats.Duplicates++
@@ -344,8 +525,30 @@ func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
 		m.lastSeq[key] = p.Seq
 	}
 	if h := m.handlers[self]; h != nil {
-		up := new(packet.Packet)
-		*up = *p
-		h(self, up)
+		h(self, p)
+	}
+}
+
+// fireAck is the prebuilt ACK closure's body.
+func (m *MAC) fireAck(self topology.NodeID) {
+	m.ackArmed[self] = false
+	m.sendAck(self, m.ackDst[self], m.ackSeq[self])
+}
+
+func (m *MAC) sendAck(self topology.NodeID, ackDst int32, ackSeq uint16) {
+	if m.medium.Busy(self) {
+		return
+	}
+	ack := packet.Packet{Header: packet.Header{
+		Kind: packet.KindAck,
+		Src:  int32(self),
+		Dst:  ackDst,
+		Seq:  ackSeq,
+	}}
+	m.ackbuf[self] = ack.AppendEncode(m.ackbuf[self][:0])
+	m.medium.Transmit(self, ack.Dst, m.ackbuf[self], ack.Size())
+	m.stats.AcksSent++
+	if m.obs != nil {
+		m.obs.acksSent.Inc()
 	}
 }

@@ -33,11 +33,13 @@ func dataPacket(src, dst topology.NodeID, round uint16) *packet.Packet {
 func TestUnicastDeliveredAndAcked(t *testing.T) {
 	sim, _, m, net := setup(t, 2, 30)
 	dst := net.Neighbors(0)[0]
-	var got *packet.Packet
-	m.SetHandler(dst, func(_ topology.NodeID, p *packet.Packet) { got = p })
+	var got packet.Packet
+	delivered := false
+	// Delivered packets are only valid during the handler call: copy out.
+	m.SetHandler(dst, func(_ topology.NodeID, p *packet.Packet) { got = *p; delivered = true })
 	sim.At(0, func() { m.Send(0, dataPacket(0, dst, 7)) })
 	sim.RunAll()
-	if got == nil || got.Round != 7 {
+	if !delivered || got.Round != 7 {
 		t.Fatalf("frame not delivered: %+v", got)
 	}
 	s := m.Stats()
@@ -290,7 +292,7 @@ func TestRetransmissionKeepsFullSenseBudget(t *testing.T) {
 		pkt := dataPacket(0, dst, 1)
 		m.seq[0]++
 		pkt.Seq = m.seq[0]
-		m.queues[0] = append(m.queues[0], &frameState{pkt: pkt, retries: 5})
+		m.queues[0] = append(m.queues[0], &frameState{pkt: *pkt, retries: 5})
 		m.busy[0] = true
 		m.scheduleAttempt(0, 0, 5) // what checkAck schedules after retry 5
 		jam()

@@ -122,12 +122,13 @@ type Instance struct {
 
 	polluters map[topology.NodeID]int64
 
-	// Per-round state.
+	// Per-round state, grown on demand and cleared in place per round.
 	assembled  [][]*slicing.Assembler // [node][tree]
 	childSum   []int64
 	childCount []uint32
 	bsSum      []int64
 	bsCount    []uint32
+	dispatchFn mac.Handler
 }
 
 // treeColor maps tree index 0..m-1 onto the packet Color byte (1..m).
@@ -137,37 +138,58 @@ func colorTree(c packet.Color) int { return int(c) - 1 }
 
 // New deploys the instance and runs the generalized Phase I.
 func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	root := rng.New(seed)
-	sim := eventsim.New()
-	medium := radio.New(sim, net, radio.PaperRate)
-	m := mac.New(sim, medium, net.N(), mac.DefaultConfig(), root.Split(1))
-	in := &Instance{
-		Net:       net,
-		Cfg:       cfg,
-		sim:       sim,
-		medium:    medium,
-		mac:       m,
-		keys:      linksec.NewPairwise(seed ^ 0x6d74726565),
-		rand:      root.Split(2),
-		polluters: make(map[topology.NodeID]int64),
-	}
-	in.ciphers = linksec.NewCipherCache(in.keys)
-	if cfg.Obs != nil {
-		medium.SetObs(cfg.Obs)
-		m.SetObs(cfg.Obs)
-	}
-	buildStart := float64(sim.Now())
-	in.buildTrees(root.Split(3))
-	if cfg.Obs != nil {
-		cfg.Obs.Span(obs.TrackGlobal, "phase1:mtree-construction", buildStart, float64(sim.Now()), 0)
-	}
-	if err := in.checkDisjoint(); err != nil {
+	in := &Instance{}
+	if err := in.Reset(net, cfg, seed); err != nil {
 		return nil, err
 	}
 	return in, nil
+}
+
+// Reset re-deploys the instance over net exactly as New(net, cfg, seed)
+// would, reusing the simulator, medium, MAC tables, cipher pool, and round
+// buffers the previous deployment grew. Prior results are invalidated.
+func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	root := rng.New(seed)
+	if in.sim == nil {
+		in.sim = eventsim.New()
+		in.medium = radio.New(in.sim, net, radio.PaperRate)
+	} else {
+		in.sim.Reset()
+		in.medium.Reset(net)
+	}
+	if in.mac == nil {
+		in.mac = mac.New(in.sim, in.medium, net.N(), mac.DefaultConfig(), root.Split(1))
+	} else {
+		in.mac.Reset(net.N(), mac.DefaultConfig(), root.Split(1))
+	}
+	in.Net = net
+	in.Cfg = cfg
+	in.keys = linksec.NewPairwise(seed ^ 0x6d74726565)
+	in.rand = root.Split(2)
+	in.round = 0
+	if in.polluters == nil {
+		in.polluters = make(map[topology.NodeID]int64)
+	} else {
+		clear(in.polluters)
+	}
+	if in.ciphers == nil {
+		in.ciphers = linksec.NewCipherCache(in.keys)
+	} else {
+		in.ciphers.Reset(in.keys)
+	}
+	if cfg.Obs != nil {
+		in.medium.SetObs(cfg.Obs)
+		in.mac.SetObs(cfg.Obs)
+	}
+	buildStart := float64(in.sim.Now())
+	in.buildTrees(root.Split(3))
+	if cfg.Obs != nil {
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:mtree-construction", buildStart, float64(in.sim.Now()), 0)
+	}
+	return in.checkDisjoint()
 }
 
 // buildTrees runs the generalized Phase I flood.
@@ -458,17 +480,29 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 	in.round++
 	round := in.round
 
-	in.assembled = make([][]*slicing.Assembler, n)
-	for i := range in.assembled {
-		in.assembled[i] = make([]*slicing.Assembler, m)
-		for t := range in.assembled[i] {
-			in.assembled[i][t] = slicing.NewAssembler()
-		}
+	if cap(in.assembled) < n {
+		in.assembled = append(in.assembled[:cap(in.assembled)], make([][]*slicing.Assembler, n-cap(in.assembled))...)
 	}
-	in.childSum = make([]int64, n)
-	in.childCount = make([]uint32, n)
-	in.bsSum = make([]int64, m)
-	in.bsCount = make([]uint32, m)
+	in.assembled = in.assembled[:n]
+	for i := range in.assembled {
+		row := in.assembled[i]
+		if cap(row) < m {
+			row = append(row[:cap(row)], make([]*slicing.Assembler, m-cap(row))...)
+		}
+		row = row[:m]
+		for t := range row {
+			if row[t] == nil {
+				row[t] = slicing.NewAssembler()
+			} else {
+				row[t].Reset()
+			}
+		}
+		in.assembled[i] = row
+	}
+	in.childSum = resizeCleared(in.childSum, n)
+	in.childCount = resizeCleared(in.childCount, n)
+	in.bsSum = resizeCleared(in.bsSum, m)
+	in.bsCount = resizeCleared(in.bsCount, m)
 
 	in.installReceivers(round)
 
@@ -588,10 +622,14 @@ func nonce(round uint16, src, dst topology.NodeID, idx int) uint32 {
 	return uint32(round)<<8 | dir | uint32(idx&0x7f)
 }
 
+// installReceivers wires one dispatch closure, shared by every node and
+// round: in.round is constant while a round's events drain, so filtering
+// on it matches the former per-round captured-round closures exactly.
 func (in *Instance) installReceivers(round uint16) {
-	for i := 0; i < in.Net.N(); i++ {
-		in.mac.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
-			if p.Round != round {
+	_ = round
+	if in.dispatchFn == nil {
+		in.dispatchFn = func(self topology.NodeID, p *packet.Packet) {
+			if p.Round != in.round {
 				return
 			}
 			switch p.Kind {
@@ -625,8 +663,22 @@ func (in *Instance) installReceivers(round uint16) {
 				in.childSum[self] += p.Value
 				in.childCount[self] += p.Count
 			}
-		})
+		}
 	}
+	for i := 0; i < in.Net.N(); i++ {
+		in.mac.SetHandler(topology.NodeID(i), in.dispatchFn)
+	}
+}
+
+// resizeCleared returns s resized to n elements, all zero, reusing its
+// backing array when it suffices.
+func resizeCleared[E int64 | uint32](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 func (in *Instance) sendAggregate(round uint16, id topology.NodeID) {

@@ -157,6 +157,67 @@ func New(sim *eventsim.Sim, net *topology.Network, rateBps float64) *Medium {
 // PaperRate is the 1 Mbps data rate of the paper's simulation setup.
 const PaperRate = 1e6
 
+// Reset returns the medium to its post-New state over a (possibly new)
+// topology while keeping its allocated storage: per-node tables are resized
+// and cleared in place, and the transmission pool survives so the next
+// run's frames reuse this run's records. Receivers, taps, the meter, the
+// loss model, and the obs sink are all detached — exactly the fields New
+// leaves unset — so the owning stack must rewire what it needs, same as
+// after a fresh New.
+func (m *Medium) Reset(net *topology.Network) {
+	n := net.N()
+	m.net = net
+	m.receiver = resizeReceivers(m.receiver, n)
+	m.taps = m.taps[:0]
+	m.txUntil = resizeTimes(m.txUntil, n)
+	if cap(m.incoming) < n {
+		m.incoming = make([][]*reception, n)
+	}
+	m.incoming = m.incoming[:n]
+	for i := range m.incoming {
+		// Receptions still "in the air" at the end of a run point into
+		// transmission records whose end-of-air event died with the old
+		// schedule; drop them (their records are garbage, a bounded loss).
+		m.incoming[i] = m.incoming[i][:0]
+	}
+	m.nodeSent = resizeCounters(m.nodeSent, n)
+	m.nodeCount = resizeCounters(m.nodeCount, n)
+	m.stats = Stats{}
+	m.meter = nil
+	m.lossRate = 0
+	m.lossRand = nil
+	m.obs = nil
+}
+
+func resizeReceivers(s []Receiver, n int) []Receiver {
+	if cap(s) < n {
+		return make([]Receiver, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+func resizeTimes(s []eventsim.Time, n int) []eventsim.Time {
+	if cap(s) < n {
+		return make([]eventsim.Time, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeCounters(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // SetReceiver installs the decode callback for a node.
 func (m *Medium) SetReceiver(id topology.NodeID, r Receiver) { m.receiver[id] = r }
 

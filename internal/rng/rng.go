@@ -205,8 +205,51 @@ func (r *Stream) Sample(n, k int) []int {
 	if k < 0 || k > n {
 		panic("rng: Sample k out of range")
 	}
-	// Partial Fisher–Yates over an index map: O(k) space for small k.
-	chosen := make([]int, 0, k)
+	return r.SampleAppend(make([]int, 0, k), n, k)
+}
+
+// SampleAppend appends k distinct values drawn uniformly from [0, n) to dst
+// and returns the extended slice. It consumes exactly the same random draws
+// as Sample with the same (n, k), so the two are interchangeable without
+// perturbing downstream streams. It panics if k > n or k < 0.
+func (r *Stream) SampleAppend(dst []int, n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample k out of range")
+	}
+	// Partial Fisher–Yates over an index remap: O(k) space for small k. The
+	// remap holds at most 2k entries; for the small k the protocol uses
+	// (slice counts l ≤ a handful) a linear scan over a stack array beats a
+	// map and allocates nothing.
+	if k <= 16 {
+		var keys, vals [32]int
+		nk := 0
+		lookup := func(x int) int {
+			for i := 0; i < nk; i++ {
+				if keys[i] == x {
+					return vals[i]
+				}
+			}
+			return x
+		}
+		store := func(x, v int) {
+			for i := 0; i < nk; i++ {
+				if keys[i] == x {
+					vals[i] = v
+					return
+				}
+			}
+			keys[nk], vals[nk] = x, v
+			nk++
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			vj := lookup(j)
+			vi := lookup(i)
+			store(j, vi)
+			dst = append(dst, vj)
+		}
+		return dst
+	}
 	remap := make(map[int]int, k)
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(n-i)
@@ -219,7 +262,7 @@ func (r *Stream) Sample(n, k int) []int {
 			vi = i
 		}
 		remap[j] = vi
-		chosen = append(chosen, vj)
+		dst = append(dst, vj)
 	}
-	return chosen
+	return dst
 }

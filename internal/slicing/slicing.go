@@ -24,15 +24,23 @@ func Split(value int64, l int, r *rng.Stream) []int64 {
 	if l < 1 {
 		panic(fmt.Sprintf("slicing: Split with l = %d", l))
 	}
-	shares := make([]int64, l)
+	return SplitAppend(make([]int64, 0, l), value, l, r)
+}
+
+// SplitAppend appends l additive shares of value to dst and returns the
+// extended slice. It consumes the same draws and yields the same shares as
+// Split, without the per-call allocation.
+func SplitAppend(dst []int64, value int64, l int, r *rng.Stream) []int64 {
+	if l < 1 {
+		panic(fmt.Sprintf("slicing: Split with l = %d", l))
+	}
 	var acc int64
 	for i := 0; i < l-1; i++ {
 		s := int64(r.Uint64()) // uniform over the whole ring
-		shares[i] = s
+		dst = append(dst, s)
 		acc += s // wrapping
 	}
-	shares[l-1] = value - acc // wrapping
-	return shares
+	return append(dst, value-acc) // wrapping
 }
 
 // SplitBounded returns l additive shares of value whose first l-1 entries
@@ -68,6 +76,33 @@ func SplitBounded(value int64, l int, spread int64, r *rng.Stream) []int64 {
 	}
 	shares[l-1] = value - acc
 	return shares
+}
+
+// SplitBoundedAppend appends l bounded shares of value to dst and returns
+// the extended slice — SplitBounded's into-buffer form, with identical
+// draws and shares.
+func SplitBoundedAppend(dst []int64, value int64, l int, spread int64, r *rng.Stream) []int64 {
+	if l < 1 {
+		panic(fmt.Sprintf("slicing: SplitBounded with l = %d", l))
+	}
+	if spread < 1 {
+		panic(fmt.Sprintf("slicing: SplitBounded with spread = %d", spread))
+	}
+	mag := value
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag < 1 {
+		mag = 1
+	}
+	bound := spread * mag
+	var acc int64
+	for i := 0; i < l-1; i++ {
+		s := r.Int64n(2*bound+1) - bound
+		dst = append(dst, s)
+		acc += s
+	}
+	return append(dst, value-acc)
 }
 
 // Combine returns the wrapping sum of shares — the inverse of Split.
@@ -109,49 +144,75 @@ func (t Targets) Transmissions() int {
 // selfColorRed/selfColorBlue report the node's own role; at most one may be
 // true. The candidate lists must not contain id itself.
 func ChooseTargets(id topology.NodeID, selfRed, selfBlue bool, redNbrs, blueNbrs []topology.NodeID, l int, r *rng.Stream) (Targets, bool) {
+	var t Targets
+	if !t.Choose(id, selfRed, selfBlue, redNbrs, blueNbrs, l, r) {
+		return Targets{}, false
+	}
+	return t, true
+}
+
+// Choose is ChooseTargets writing into t's existing backing arrays: Red and
+// Blue are truncated and refilled, so a node's Targets can be re-selected
+// every round with no allocation once the slices have grown to l entries.
+// It consumes exactly the same random draws as ChooseTargets (none at all
+// when the neighborhoods are too small) and fills t with the same targets
+// in the same order, so the two are interchangeable mid-protocol.
+func (t *Targets) Choose(id topology.NodeID, selfRed, selfBlue bool, redNbrs, blueNbrs []topology.NodeID, l int, r *rng.Stream) bool {
 	if l < 1 {
 		panic(fmt.Sprintf("slicing: ChooseTargets with l = %d", l))
 	}
 	if selfRed && selfBlue {
 		panic("slicing: node cannot be on both trees")
 	}
-	var t Targets
+	t.Red = t.Red[:0]
+	t.Blue = t.Blue[:0]
+	t.KeptLocal = false
 	switch {
 	case selfRed:
 		if len(redNbrs) < l-1 || len(blueNbrs) < l {
-			return Targets{}, false
+			return false
 		}
-		t.Red = append([]topology.NodeID{id}, pick(redNbrs, l-1, r)...)
-		t.Blue = pick(blueNbrs, l, r)
+		t.Red = append(t.Red, id)
+		t.Red = pickAppend(t.Red, redNbrs, l-1, r)
+		t.Blue = pickAppend(t.Blue, blueNbrs, l, r)
 		t.KeptLocal = true
 	case selfBlue:
 		if len(blueNbrs) < l-1 || len(redNbrs) < l {
-			return Targets{}, false
+			return false
 		}
-		t.Blue = append([]topology.NodeID{id}, pick(blueNbrs, l-1, r)...)
-		t.Red = pick(redNbrs, l, r)
+		t.Blue = append(t.Blue, id)
+		t.Blue = pickAppend(t.Blue, blueNbrs, l-1, r)
+		t.Red = pickAppend(t.Red, redNbrs, l, r)
 		t.KeptLocal = true
 	default:
 		if len(redNbrs) < l || len(blueNbrs) < l {
-			return Targets{}, false
+			return false
 		}
-		t.Red = pick(redNbrs, l, r)
-		t.Blue = pick(blueNbrs, l, r)
+		t.Red = pickAppend(t.Red, redNbrs, l, r)
+		t.Blue = pickAppend(t.Blue, blueNbrs, l, r)
 	}
-	return t, true
+	return true
 }
 
-// pick selects k distinct elements of xs uniformly at random.
-func pick(xs []topology.NodeID, k int, r *rng.Stream) []topology.NodeID {
+// pickAppend appends k distinct elements of xs, drawn uniformly at random,
+// to dst. Index sampling runs through rng.SampleAppend over a stack buffer
+// for the small k the protocol uses, so the common case allocates nothing
+// beyond dst's own growth.
+func pickAppend(dst []topology.NodeID, xs []topology.NodeID, k int, r *rng.Stream) []topology.NodeID {
 	if k == 0 {
-		return nil
+		return dst
 	}
-	idx := r.Sample(len(xs), k)
-	out := make([]topology.NodeID, k)
-	for i, j := range idx {
-		out[i] = xs[j]
+	var stack [16]int
+	var idx []int
+	if k <= len(stack) {
+		idx = r.SampleAppend(stack[:0], len(xs), k)
+	} else {
+		idx = r.Sample(len(xs), k)
 	}
-	return out
+	for _, j := range idx {
+		dst = append(dst, xs[j])
+	}
+	return dst
 }
 
 // Assembler accumulates the slices received by one aggregator during Phase

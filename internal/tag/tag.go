@@ -57,6 +57,24 @@ type Instance struct {
 	childSum   []int64
 	childCount []uint32
 	sent       []bool
+
+	// Steady-state reuse machinery (see Reset): the TAG tree builder, the
+	// contribution scratch, the shared per-round handler, and the pooled
+	// partial-aggregate send events.
+	builder   tree.TAGBuilder
+	contribs  []int64
+	handlerFn mac.Handler
+	sendFree  []*sendEvent
+}
+
+// sendEvent is a pooled deferred partial-aggregate send; fire is built
+// once per event and recycles it right after the MAC copies the packet.
+type sendEvent struct {
+	in      *Instance
+	id      topology.NodeID
+	contrib int64
+	round   uint16
+	fire    func()
 }
 
 // Kill fails node id at runtime: from the next epoch on it neither sends
@@ -86,31 +104,57 @@ var _ fault.Target = (*Instance)(nil)
 
 // New deploys a TAG instance and builds its spanning tree.
 func New(net *topology.Network, cfg Config, seed uint64) (*Instance, error) {
+	in := &Instance{}
+	if err := in.Reset(net, cfg, seed); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Reset re-deploys the instance over net exactly as New(net, cfg, seed)
+// would, reusing the simulator, medium, MAC tables, tree arrays, and round
+// buffers grown by the previous deployment. Results obtained before the
+// Reset (Tree, Run outputs) are invalidated.
+func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error {
 	if cfg.TreeDeadline <= 0 || cfg.AggSlot <= 0 {
-		return nil, fmt.Errorf("tag: deadlines must be positive")
+		return fmt.Errorf("tag: deadlines must be positive")
 	}
+	n := net.N()
 	root := rng.New(seed)
-	sim := eventsim.New()
-	medium := radio.New(sim, net, radio.PaperRate)
-	m := mac.New(sim, medium, net.N(), cfg.MAC, root.Split(1))
-	if cfg.Obs != nil {
-		medium.SetObs(cfg.Obs)
-		m.SetObs(cfg.Obs)
+	if in.Sim == nil {
+		in.Sim = eventsim.New()
+		in.Medium = radio.New(in.Sim, net, radio.PaperRate)
+	} else {
+		in.Sim.Reset()
+		in.Medium.Reset(net)
 	}
-	buildStart := float64(sim.Now())
-	tr := tree.BuildTAG(sim, medium, m, net, cfg.TreeDeadline)
-	if cfg.Obs != nil {
-		cfg.Obs.Span(obs.TrackGlobal, "tag:tree-construction", buildStart, float64(sim.Now()), 0)
+	if in.MAC == nil {
+		in.MAC = mac.New(in.Sim, in.Medium, n, cfg.MAC, root.Split(1))
+	} else {
+		in.MAC.Reset(n, cfg.MAC, root.Split(1))
 	}
-	return &Instance{
-		Net:    net,
-		Cfg:    cfg,
-		Sim:    sim,
-		Medium: medium,
-		MAC:    m,
-		Tree:   tr,
-		rand:   root.Split(2),
-	}, nil
+	if cfg.Obs != nil {
+		in.Medium.SetObs(cfg.Obs)
+		in.MAC.SetObs(cfg.Obs)
+	}
+	buildStart := float64(in.Sim.Now())
+	tr := in.builder.Build(in.Sim, in.Medium, in.MAC, net, cfg.TreeDeadline)
+	if cfg.Obs != nil {
+		cfg.Obs.Span(obs.TrackGlobal, "tag:tree-construction", buildStart, float64(in.Sim.Now()), 0)
+	}
+	in.Net = net
+	in.Cfg = cfg
+	in.Tree = tr
+	in.rand = root.Split(2)
+	in.round = 0
+	if in.dead != nil {
+		if len(in.dead) == n {
+			clear(in.dead)
+		} else {
+			in.dead = nil
+		}
+	}
+	return nil
 }
 
 // Participants returns the nodes on the spanning tree (excluding the base
@@ -157,8 +201,13 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 	sums := make([]int64, valueRounds)
 	var count uint32
 	countSpec := aggregate.SpecFor(aggregate.Count)
+	if cap(in.contribs) < in.Net.N() {
+		in.contribs = make([]int64, in.Net.N())
+	}
+	in.contribs = in.contribs[:in.Net.N()]
 	for round := 0; round < total; round++ {
-		contribs := make([]int64, in.Net.N())
+		contribs := in.contribs
+		clear(contribs)
 		for i := 1; i < in.Net.N(); i++ {
 			var c int64
 			var err error
@@ -211,18 +260,24 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 	startBytes := in.Medium.TotalBytes()
 	startFrames := in.Medium.Stats().FramesSent
 
-	in.childSum = make([]int64, n)
-	in.childCount = make([]uint32, n)
-	in.sent = make([]bool, n)
+	in.childSum = resizeCleared(in.childSum, n)
+	in.childCount = resizeCleared(in.childCount, n)
+	in.sent = resizeCleared(in.sent, n)
 
-	for i := 0; i < n; i++ {
-		in.MAC.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
-			if p.Kind != packet.KindAggregate || p.Round != round || in.isDead(self) {
+	// One dispatch closure serves every node and every round: in.round is
+	// constant while a round's events drain, so filtering on it matches the
+	// former per-round captured-round closures exactly.
+	if in.handlerFn == nil {
+		in.handlerFn = func(self topology.NodeID, p *packet.Packet) {
+			if p.Kind != packet.KindAggregate || p.Round != in.round || in.isDead(self) {
 				return
 			}
 			in.childSum[self] += p.Value
 			in.childCount[self] += p.Count
-		})
+		}
+	}
+	for i := 0; i < n; i++ {
+		in.MAC.SetHandler(topology.NodeID(i), in.handlerFn)
 	}
 
 	maxHop := uint16(0)
@@ -243,14 +298,9 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 		}
 		slot := eventsim.Time(maxHop-in.Tree.Hop[id]) * in.Cfg.AggSlot
 		jitter := eventsim.Time(in.rand.Float64()) * in.Cfg.AggSlot / 2
-		contrib := contribs[i]
-		in.Sim.At(t0+slot+jitter, func() {
-			in.MAC.Send(id, &packet.Packet{
-				Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(in.Tree.Parent[id]), Round: round},
-				Value:  contrib + in.childSum[id],
-				Count:  in.childCount[id] + 1,
-			})
-		})
+		ev := in.getSendEvent()
+		ev.id, ev.contrib, ev.round = id, contribs[i], round
+		in.Sim.At(t0+slot+jitter, ev.fire)
 	}
 	deadline := t0 + eventsim.Time(maxHop+2)*in.Cfg.AggSlot + 1.0
 	if in.Cfg.Obs != nil {
@@ -265,4 +315,38 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 		Bytes:        in.Medium.TotalBytes() - startBytes,
 		Frames:       in.Medium.Stats().FramesSent - startFrames,
 	}
+}
+
+// getSendEvent pops a pooled partial-aggregate send event (building its
+// fire closure on first use); fireSend returns it to the pool.
+func (in *Instance) getSendEvent() *sendEvent {
+	if k := len(in.sendFree); k > 0 {
+		ev := in.sendFree[k-1]
+		in.sendFree = in.sendFree[:k-1]
+		return ev
+	}
+	ev := &sendEvent{in: in}
+	ev.fire = func() { ev.in.fireSend(ev) }
+	return ev
+}
+
+func (in *Instance) fireSend(ev *sendEvent) {
+	id := ev.id
+	in.MAC.Send(id, &packet.Packet{
+		Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(in.Tree.Parent[id]), Round: ev.round},
+		Value:  ev.contrib + in.childSum[id],
+		Count:  in.childCount[id] + 1,
+	})
+	in.sendFree = append(in.sendFree, ev)
+}
+
+// resizeCleared returns s resized to n elements, all zero, reusing its
+// backing array when it suffices.
+func resizeCleared[E int64 | uint32 | bool](s []E, n int) []E {
+	if cap(s) < n {
+		return make([]E, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }

@@ -69,23 +69,24 @@ func (n *Network) Connected() bool {
 }
 
 // ReachableFrom returns the set of nodes reachable from start by BFS,
-// including start itself.
+// including start itself. The visit order doubles as the BFS queue (a head
+// index walks it while newly discovered nodes append to the tail), so the
+// whole traversal costs exactly two allocations — the visited bitmap and
+// the returned slice — instead of re-slicing a separate queue per pop.
 func (n *Network) ReachableFrom(start NodeID) []NodeID {
 	if n.N() == 0 {
 		return nil
 	}
 	visited := make([]bool, n.N())
-	queue := []NodeID{start}
+	order := make([]NodeID, 0, n.N())
+	order = append(order, start)
 	visited[start] = true
-	var order []NodeID
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
 		for _, w := range n.adj[v] {
 			if !visited[w] {
 				visited[w] = true
-				queue = append(queue, w)
+				order = append(order, w)
 			}
 		}
 	}
@@ -93,17 +94,18 @@ func (n *Network) ReachableFrom(start NodeID) []NodeID {
 }
 
 // HopDistances returns the BFS hop count from start to every node;
-// unreachable nodes get -1.
+// unreachable nodes get -1. Like ReachableFrom, the queue is walked by head
+// index over one full-capacity backing array (two allocations total).
 func (n *Network) HopDistances(start NodeID) []int {
 	dist := make([]int, n.N())
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[start] = 0
-	queue := []NodeID{start}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	queue := make([]NodeID, 0, n.N())
+	queue = append(queue, start)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
 		for _, w := range n.adj[v] {
 			if dist[w] < 0 {
 				dist[w] = dist[v] + 1

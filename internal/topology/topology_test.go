@@ -128,6 +128,23 @@ func TestReachableFromAndHops(t *testing.T) {
 	}
 }
 
+// TestBFSAllocs pins the allocation count of the breadth-first helpers:
+// the head-index queue walk allocates only the visited/result buffers (one
+// each), never a reslice-churned queue. Both run on the protocol's repair
+// hot path, so a regression here is a per-round cost.
+func TestBFSAllocs(t *testing.T) {
+	net, err := Random(PaperConfig(400), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(20, func() { net.ReachableFrom(0) }); got > 2 {
+		t.Errorf("ReachableFrom allocates %.0f times per call, want <= 2", got)
+	}
+	if got := testing.AllocsPerRun(20, func() { net.HopDistances(0) }); got > 2 {
+		t.Errorf("HopDistances allocates %.0f times per call, want <= 2", got)
+	}
+}
+
 func TestGridDegrees(t *testing.T) {
 	// Spacing 10, radius 10.5: lattice nodes link to 4-neighborhoods only.
 	net, err := Grid(4, 10, 10.5)

@@ -308,187 +308,130 @@ type nodeState struct {
 	decided               bool
 }
 
+// Builder runs Phase I repeatedly, reusing the per-node state machines,
+// the neighbor-list backing arrays, the Result, and the per-node decision
+// closures across builds. A Build on a used Builder is byte-identical to
+// one on a fresh Builder — state is fully reinitialized, only capacity
+// survives — but it invalidates the Result of the previous Build (the
+// neighbor lists share backing storage). One Builder serves one protocol
+// instance; it is not safe for concurrent use.
+type Builder struct {
+	states    []nodeState
+	res       Result
+	decideFns []func()
+	handlerFn mac.Handler
+	kickoffFn func()
+
+	// Per-build context, set by Build and read by the event callbacks.
+	sim               *eventsim.Sim
+	m                 *mac.MAC
+	cfg               Config
+	roleRand          *rng.Stream
+	lastRed, lastBlue float64
+	roleCount         [RoleBase + 1]obs.Counter
+}
+
 // BuildDisjoint runs Phase I over the given network and returns the
 // constructed trees. It drives sim until cfg.Deadline; the medium's
 // receivers are owned by this function for the duration of the call.
 func BuildDisjoint(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *topology.Network, cfg Config, rand *rng.Stream) (*Result, error) {
+	return new(Builder).Build(sim, medium, m, net, cfg, rand)
+}
+
+// Build is BuildDisjoint over the Builder's reusable storage.
+func (b *Builder) Build(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *topology.Network, cfg Config, rand *rng.Stream) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	n := net.N()
-	states := make([]*nodeState, n)
-	for i := range states {
-		states[i] = &nodeState{
-			role: RoleUndecided, parent: topology.None,
-			redParent: topology.None, blueParent: topology.None,
-		}
+	if cap(b.states) < n {
+		b.states = append(b.states[:cap(b.states)], make([]nodeState, n-cap(b.states))...)
 	}
-	states[0].role = RoleBase
-	states[0].decided = true
+	b.states = b.states[:n]
+	for i := range b.states {
+		st := &b.states[i]
+		st.role = RoleUndecided
+		st.parent = topology.None
+		st.hop = 0
+		st.redFrom = st.redFrom[:0]
+		st.blueFrom = st.blueFrom[:0]
+		st.redMinHop, st.blueMinHop = 0, 0
+		st.redParent, st.blueParent = topology.None, topology.None
+		st.decisionArmed = false
+		st.decided = false
+	}
+	b.states[0].role = RoleBase
+	b.states[0].decided = true
 	for _, r := range cfg.ExtraRoots {
 		if r <= 0 || int(r) >= n {
 			return nil, fmt.Errorf("tree: extra root %d out of range", r)
 		}
-		states[r].role = RoleBase
-		states[r].decided = true
+		b.states[r].role = RoleBase
+		b.states[r].decided = true
 	}
 
 	startBytes := medium.TotalBytes()
 	startFrames := medium.Stats().FramesSent
-	roleRand := rand.Split(1)
+	b.sim = sim
+	b.m = m
+	b.cfg = cfg
+	b.roleRand = rand.Split(1)
 
 	phaseStart := float64(sim.Now())
-	lastRed, lastBlue := phaseStart, phaseStart
-	var roleCount [RoleBase + 1]obs.Counter
+	b.lastRed, b.lastBlue = phaseStart, phaseStart
+	b.roleCount = [RoleBase + 1]obs.Counter{}
 	if cfg.Obs != nil && cfg.Obs.Reg != nil {
 		for _, role := range []Role{RoleUndecided, RoleLeaf, RoleRed, RoleBlue} {
-			roleCount[role] = cfg.Obs.Reg.Counter("ipda_tree_roles_total",
+			b.roleCount[role] = cfg.Obs.Reg.Counter("ipda_tree_roles_total",
 				"Phase I role decisions", obs.Label{Name: "role", Value: role.String()})
 		}
 	}
 
-	sendHello := func(src topology.NodeID, color packet.Color, hop uint16) {
-		m.Send(src, &packet.Packet{
-			Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
-			Color:  color,
-			Hop:    hop,
-		})
-		if cfg.Obs != nil {
-			switch color {
-			case packet.Red:
-				lastRed = float64(sim.Now())
-			case packet.Blue:
-				lastBlue = float64(sim.Now())
-			}
+	if cap(b.decideFns) < n {
+		b.decideFns = append(b.decideFns[:cap(b.decideFns)], make([]func(), n-cap(b.decideFns))...)
+	}
+	b.decideFns = b.decideFns[:n]
+	for i := range b.decideFns {
+		if b.decideFns[i] == nil {
+			id := topology.NodeID(i)
+			b.decideFns[i] = func() { b.decide(id) }
 		}
 	}
-
-	decide := func(id topology.NodeID) {
-		st := states[id]
-		if st.decided {
-			return
-		}
-		st.decided = true
-		nRed, nBlue := len(st.redFrom), len(st.blueFrom)
-		if nRed == 0 || nBlue == 0 {
-			// Should not happen (decision is armed only after both colors)
-			// but lost frames cannot rescind; stay undecided.
-			st.decided = false
-			st.decisionArmed = false
-			return
-		}
-		var p, pr float64
-		if cfg.Adaptive {
-			p = 1
-			if nRed+nBlue > cfg.K {
-				p = float64(cfg.K) / float64(nRed+nBlue)
-			}
-			pr = p * float64(nBlue) / float64(nRed+nBlue)
-		} else {
-			p = 1
-			pr = 0.5
-		}
-		u := roleRand.Float64()
-		switch {
-		case u < pr:
-			st.role = RoleRed
-			st.parent = st.redParent
-			st.hop = st.redMinHop + 1
-			sendHello(id, packet.Red, st.hop)
-		case u < p:
-			st.role = RoleBlue
-			st.parent = st.blueParent
-			st.hop = st.blueMinHop + 1
-			sendHello(id, packet.Blue, st.hop)
-		default:
-			st.role = RoleLeaf
-		}
-		if cfg.Obs != nil {
-			roleCount[st.role].Inc()
-			switch st.role {
-			case RoleRed:
-				cfg.Obs.Instant(int32(id), "role:red", float64(sim.Now()), 0)
-			case RoleBlue:
-				cfg.Obs.Instant(int32(id), "role:blue", float64(sim.Now()), 0)
-			case RoleLeaf:
-				cfg.Obs.Instant(int32(id), "role:leaf", float64(sim.Now()), 0)
-			}
-		}
-	}
-
-	onHello := func(self topology.NodeID, p *packet.Packet) {
-		if len(cfg.Disabled) > int(self) && cfg.Disabled[self] {
-			return
-		}
-		st := states[self]
-		src := topology.NodeID(p.Src)
-		switch p.Color {
-		case packet.Red:
-			if !contains(st.redFrom, src) {
-				st.redFrom = append(st.redFrom, src)
-				if st.redParent == topology.None || p.Hop < st.redMinHop {
-					st.redParent, st.redMinHop = src, p.Hop
-				}
-			}
-		case packet.Blue:
-			if !contains(st.blueFrom, src) {
-				st.blueFrom = append(st.blueFrom, src)
-				if st.blueParent == topology.None || p.Hop < st.blueMinHop {
-					st.blueParent, st.blueMinHop = src, p.Hop
-				}
-			}
-		default:
-			return
-		}
-		if st.role == RoleBase || st.decided {
-			return
-		}
-		if !st.decisionArmed && len(st.redFrom) > 0 && len(st.blueFrom) > 0 {
-			st.decisionArmed = true
-			sim.After(cfg.DecisionDelay, func() { decide(self) })
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		m.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
+	if b.handlerFn == nil {
+		b.handlerFn = func(self topology.NodeID, p *packet.Packet) {
 			if p.Kind == packet.KindHello {
-				onHello(self, p)
+				b.onHello(self, p)
 			}
-		})
+		}
+		b.kickoffFn = func() { b.kickoff() }
+	}
+	for i := 0; i < n; i++ {
+		m.SetHandler(topology.NodeID(i), b.handlerFn)
 	}
 
-	// Every base station initiates the flood as both a red and a blue
-	// aggregator at hop 0.
-	sim.After(0, func() {
-		sendHello(0, packet.Red, 0)
-		sendHello(0, packet.Blue, 0)
-		for _, r := range cfg.ExtraRoots {
-			sendHello(r, packet.Red, 0)
-			sendHello(r, packet.Blue, 0)
-		}
-	})
+	sim.After(0, b.kickoffFn)
 	sim.Run(sim.Now() + cfg.Deadline)
 
 	if cfg.Obs != nil {
-		end := lastRed
-		if lastBlue > end {
-			end = lastBlue
+		end := b.lastRed
+		if b.lastBlue > end {
+			end = b.lastBlue
 		}
 		cfg.Obs.Span(obs.TrackGlobal, "phase1:tree-construction", phaseStart, end, 0)
-		cfg.Obs.Span(obs.TrackGlobal, "phase1:red-flood", phaseStart, lastRed, 0)
-		cfg.Obs.Span(obs.TrackGlobal, "phase1:blue-flood", phaseStart, lastBlue, 0)
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:red-flood", phaseStart, b.lastRed, 0)
+		cfg.Obs.Span(obs.TrackGlobal, "phase1:blue-flood", phaseStart, b.lastBlue, 0)
 	}
 
-	res := &Result{
-		Role:          make([]Role, n),
-		Parent:        make([]topology.NodeID, n),
-		Hop:           make([]uint16, n),
-		RedNeighbors:  make([][]topology.NodeID, n),
-		BlueNeighbors: make([][]topology.NodeID, n),
-		HelloBytes:    medium.TotalBytes() - startBytes,
-		HelloFrames:   medium.Stats().FramesSent - startFrames,
-	}
-	for i, st := range states {
+	res := &b.res
+	res.Role = resizeRoles(res.Role, n)
+	res.Parent = resizeIDs(res.Parent, n)
+	res.Hop = resizeHops(res.Hop, n)
+	res.RedNeighbors = resizeNbrs(res.RedNeighbors, n)
+	res.BlueNeighbors = resizeNbrs(res.BlueNeighbors, n)
+	res.HelloBytes = medium.TotalBytes() - startBytes
+	res.HelloFrames = medium.Stats().FramesSent - startFrames
+	for i := range b.states {
+		st := &b.states[i]
 		res.Role[i] = st.role
 		res.Parent[i] = st.parent
 		res.Hop[i] = st.hop
@@ -503,6 +446,148 @@ func BuildDisjoint(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *top
 		}
 	}
 	return res, nil
+}
+
+// kickoff starts the flood: every base station initiates as both a red and
+// a blue aggregator at hop 0.
+func (b *Builder) kickoff() {
+	b.sendHello(0, packet.Red, 0)
+	b.sendHello(0, packet.Blue, 0)
+	for _, r := range b.cfg.ExtraRoots {
+		b.sendHello(r, packet.Red, 0)
+		b.sendHello(r, packet.Blue, 0)
+	}
+}
+
+func (b *Builder) sendHello(src topology.NodeID, color packet.Color, hop uint16) {
+	b.m.Send(src, &packet.Packet{
+		Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
+		Color:  color,
+		Hop:    hop,
+	})
+	if b.cfg.Obs != nil {
+		switch color {
+		case packet.Red:
+			b.lastRed = float64(b.sim.Now())
+		case packet.Blue:
+			b.lastBlue = float64(b.sim.Now())
+		}
+	}
+}
+
+func (b *Builder) decide(id topology.NodeID) {
+	st := &b.states[id]
+	if st.decided {
+		return
+	}
+	st.decided = true
+	nRed, nBlue := len(st.redFrom), len(st.blueFrom)
+	if nRed == 0 || nBlue == 0 {
+		// Should not happen (decision is armed only after both colors)
+		// but lost frames cannot rescind; stay undecided.
+		st.decided = false
+		st.decisionArmed = false
+		return
+	}
+	cfg := &b.cfg
+	var p, pr float64
+	if cfg.Adaptive {
+		p = 1
+		if nRed+nBlue > cfg.K {
+			p = float64(cfg.K) / float64(nRed+nBlue)
+		}
+		pr = p * float64(nBlue) / float64(nRed+nBlue)
+	} else {
+		p = 1
+		pr = 0.5
+	}
+	u := b.roleRand.Float64()
+	switch {
+	case u < pr:
+		st.role = RoleRed
+		st.parent = st.redParent
+		st.hop = st.redMinHop + 1
+		b.sendHello(id, packet.Red, st.hop)
+	case u < p:
+		st.role = RoleBlue
+		st.parent = st.blueParent
+		st.hop = st.blueMinHop + 1
+		b.sendHello(id, packet.Blue, st.hop)
+	default:
+		st.role = RoleLeaf
+	}
+	if cfg.Obs != nil {
+		b.roleCount[st.role].Inc()
+		switch st.role {
+		case RoleRed:
+			cfg.Obs.Instant(int32(id), "role:red", float64(b.sim.Now()), 0)
+		case RoleBlue:
+			cfg.Obs.Instant(int32(id), "role:blue", float64(b.sim.Now()), 0)
+		case RoleLeaf:
+			cfg.Obs.Instant(int32(id), "role:leaf", float64(b.sim.Now()), 0)
+		}
+	}
+}
+
+func (b *Builder) onHello(self topology.NodeID, p *packet.Packet) {
+	if len(b.cfg.Disabled) > int(self) && b.cfg.Disabled[self] {
+		return
+	}
+	st := &b.states[self]
+	src := topology.NodeID(p.Src)
+	switch p.Color {
+	case packet.Red:
+		if !contains(st.redFrom, src) {
+			st.redFrom = append(st.redFrom, src)
+			if st.redParent == topology.None || p.Hop < st.redMinHop {
+				st.redParent, st.redMinHop = src, p.Hop
+			}
+		}
+	case packet.Blue:
+		if !contains(st.blueFrom, src) {
+			st.blueFrom = append(st.blueFrom, src)
+			if st.blueParent == topology.None || p.Hop < st.blueMinHop {
+				st.blueParent, st.blueMinHop = src, p.Hop
+			}
+		}
+	default:
+		return
+	}
+	if st.role == RoleBase || st.decided {
+		return
+	}
+	if !st.decisionArmed && len(st.redFrom) > 0 && len(st.blueFrom) > 0 {
+		st.decisionArmed = true
+		b.sim.After(b.cfg.DecisionDelay, b.decideFns[self])
+	}
+}
+
+func resizeRoles(s []Role, n int) []Role {
+	if cap(s) < n {
+		return make([]Role, n)
+	}
+	return s[:n]
+}
+
+func resizeIDs(s []topology.NodeID, n int) []topology.NodeID {
+	if cap(s) < n {
+		return make([]topology.NodeID, n)
+	}
+	return s[:n]
+}
+
+func resizeHops(s []uint16, n int) []uint16 {
+	if cap(s) < n {
+		return make([]uint16, n)
+	}
+	return s[:n]
+}
+
+func resizeNbrs(s [][]topology.NodeID, n int) [][]topology.NodeID {
+	if cap(s) < n {
+		return make([][]topology.NodeID, n)
+	}
+	return s[:n]
 }
 
 func contains(xs []topology.NodeID, x topology.NodeID) bool {
@@ -524,43 +609,70 @@ type TAGResult struct {
 	HelloFrames uint64
 }
 
+// TAGBuilder runs TAG tree construction repeatedly, reusing the TAGResult
+// arrays and the flood closures across builds. Like Builder, a Build on a
+// used TAGBuilder matches a fresh one exactly but invalidates the previous
+// Build's TAGResult. Not safe for concurrent use.
+type TAGBuilder struct {
+	res       TAGResult
+	handlerFn mac.Handler
+	kickoffFn func()
+	m         *mac.MAC
+}
+
 // BuildTAG floods a single-tree HELLO from the base station (node 0): each
 // node adopts the first heard sender as parent and rebroadcasts once. This
 // is the tree TAG aggregates over.
 func BuildTAG(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *topology.Network, deadline eventsim.Time) *TAGResult {
+	return new(TAGBuilder).Build(sim, medium, m, net, deadline)
+}
+
+// Build is BuildTAG over the TAGBuilder's reusable storage.
+func (tb *TAGBuilder) Build(sim *eventsim.Sim, medium *radio.Medium, m *mac.MAC, net *topology.Network, deadline eventsim.Time) *TAGResult {
 	n := net.N()
-	res := &TAGResult{
-		Parent:  make([]topology.NodeID, n),
-		Hop:     make([]uint16, n),
-		Reached: make([]bool, n),
+	res := &tb.res
+	res.Parent = resizeIDs(res.Parent, n)
+	res.Hop = resizeHops(res.Hop, n)
+	if cap(res.Reached) < n {
+		res.Reached = make([]bool, n)
 	}
+	res.Reached = res.Reached[:n]
 	for i := range res.Parent {
 		res.Parent[i] = topology.None
+		res.Hop[i] = 0
+		res.Reached[i] = false
 	}
 	res.Reached[0] = true
 	startBytes := medium.TotalBytes()
 	startFrames := medium.Stats().FramesSent
 
-	sendHello := func(src topology.NodeID, hop uint16) {
-		m.Send(src, &packet.Packet{
-			Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
-			Hop:    hop,
-		})
-	}
-	for i := 0; i < n; i++ {
-		m.SetHandler(topology.NodeID(i), func(self topology.NodeID, p *packet.Packet) {
-			if p.Kind != packet.KindHello || res.Reached[self] {
+	tb.m = m
+	if tb.handlerFn == nil {
+		tb.handlerFn = func(self topology.NodeID, p *packet.Packet) {
+			r := &tb.res
+			if p.Kind != packet.KindHello || r.Reached[self] {
 				return
 			}
-			res.Reached[self] = true
-			res.Parent[self] = topology.NodeID(p.Src)
-			res.Hop[self] = p.Hop + 1
-			sendHello(self, res.Hop[self])
-		})
+			r.Reached[self] = true
+			r.Parent[self] = topology.NodeID(p.Src)
+			r.Hop[self] = p.Hop + 1
+			tb.sendHello(self, r.Hop[self])
+		}
+		tb.kickoffFn = func() { tb.sendHello(0, 0) }
 	}
-	sim.After(0, func() { sendHello(0, 0) })
+	for i := 0; i < n; i++ {
+		m.SetHandler(topology.NodeID(i), tb.handlerFn)
+	}
+	sim.After(0, tb.kickoffFn)
 	sim.Run(sim.Now() + deadline)
 	res.HelloBytes = medium.TotalBytes() - startBytes
 	res.HelloFrames = medium.Stats().FramesSent - startFrames
 	return res
+}
+
+func (tb *TAGBuilder) sendHello(src topology.NodeID, hop uint16) {
+	tb.m.Send(src, &packet.Packet{
+		Header: packet.Header{Kind: packet.KindHello, Src: int32(src), Dst: packet.Broadcast},
+		Hop:    hop,
+	})
 }

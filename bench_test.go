@@ -96,6 +96,24 @@ func BenchmarkLAblation(b *testing.B) { benchExperiment(b, "lablation") }
 // BenchmarkChurn regenerates the fault-injection/tree-repair experiment.
 func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
 
+// BenchmarkShardScale regenerates the sharded scale experiment at a
+// CI-sized field (one 2000-node trial, 8 cluster regions, 4 shard
+// workers). Gated by cmd/benchgate against BENCH_scale.json.
+func BenchmarkShardScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{
+			Sizes:   []int{2000},
+			Trials:  1,
+			Seed:    uint64(i) + 1,
+			Workers: 1,
+			Shards:  4,
+		}
+		if _, err := experiments.Run("scale", o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Sweep-shape benchmarks: the same Figure-6-style workload (5 sizes × 2
 // trials, each trial one deployment plus one COUNT round) scheduled two
 // ways. Flattened is the harness's global (point × trial) queue; PerPoint

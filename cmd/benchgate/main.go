@@ -1,17 +1,24 @@
-// Command benchgate is the allocation-regression gate CI runs on the
-// repo's headline benchmark: it executes BenchmarkFig7Overhead with
-// -benchmem, parses the measured allocs/op, and compares it against the
-// newest entry in BENCH_fig7.json's history. If the measurement exceeds
-// the recorded value by more than the tolerance (default 10%), it exits
-// non-zero with a diagnostic.
+// Command benchgate is the performance-regression gate CI runs on the
+// repo's gated benchmarks: it executes the named benchmark with
+// -benchmem, parses the measured allocs/op and ns/op, and compares both
+// against the newest entry in the history file. A measurement exceeding
+// the recorded value by more than its tolerance exits non-zero with a
+// diagnostic.
 //
-// Allocation counts — unlike wall-clock times — are deterministic for a
-// fixed toolchain, so a tight relative gate holds on shared CI machines
-// where timing gates would flap.
+// The two figures get very different tolerances. Allocation counts are
+// deterministic for a fixed toolchain, so a tight relative gate (default
+// 10%) holds on shared CI machines. Wall-clock time is not — the ns/op
+// gate exists to catch order-of-magnitude blowups (an accidental O(n²),
+// a lost fast path), so its default tolerance is a generous 40% and the
+// history files record the machine the reference was measured on.
+//
+// CI gates two (benchmark, history) pairs: BenchmarkFig7Overhead against
+// BENCH_fig7.json (the single-world protocol path) and
+// BenchmarkShardScale against BENCH_scale.json (the sharded scale path).
 //
 // Usage:
 //
-//	go run ./cmd/benchgate [-bench BenchmarkFig7Overhead] [-history BENCH_fig7.json] [-tolerance 0.10]
+//	go run ./cmd/benchgate [-bench BenchmarkFig7Overhead] [-history BENCH_fig7.json] [-tolerance 0.10] [-ns-tolerance 0.40]
 package main
 
 import (
@@ -38,17 +45,18 @@ func main() {
 	bench := flag.String("bench", "BenchmarkFig7Overhead", "benchmark to gate (anchored exact match)")
 	file := flag.String("history", "BENCH_fig7.json", "benchmark history file; the newest entry is the reference")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative allocs/op increase over the reference")
+	nsTolerance := flag.Float64("ns-tolerance", 0.40, "allowed relative ns/op increase over the reference (0 disables the timing gate)")
 	benchtime := flag.String("benchtime", "3x", "-benchtime passed to go test")
 	pkg := flag.String("pkg", ".", "package holding the benchmark")
 	flag.Parse()
 
-	if err := run(*bench, *file, *tolerance, *benchtime, *pkg); err != nil {
+	if err := run(*bench, *file, *tolerance, *nsTolerance, *benchtime, *pkg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, file string, tolerance float64, benchtime, pkg string) error {
+func run(bench, file string, tolerance, nsTolerance float64, benchtime, pkg string) error {
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -71,7 +79,7 @@ func run(bench, file string, tolerance float64, benchtime, pkg string) error {
 	if err != nil {
 		return fmt.Errorf("%v:\n%s", err, out)
 	}
-	allocs, err := parseAllocs(bench, string(out))
+	ns, allocs, err := parseResult(bench, string(out))
 	if err != nil {
 		return fmt.Errorf("%w in output:\n%s", err, out)
 	}
@@ -83,17 +91,34 @@ func run(bench, file string, tolerance float64, benchtime, pkg string) error {
 		return fmt.Errorf("allocation regression: %d allocs/op exceeds %.0f (%+.1f%% over the recorded %.0f)",
 			allocs, limit, 100*(float64(allocs)/ref.AllocsPerOp-1), ref.AllocsPerOp)
 	}
+	if nsTolerance > 0 && ref.NsPerOp > 0 {
+		nsLimit := ref.NsPerOp * (1 + nsTolerance)
+		fmt.Printf("benchgate: %s measured %.0f ns/op; reference recorded %.0f (limit %.0f)\n",
+			bench, ns, ref.NsPerOp, nsLimit)
+		if ns > nsLimit {
+			return fmt.Errorf("timing regression: %.0f ns/op exceeds %.0f (%+.1f%% over the recorded %.0f)",
+				ns, nsLimit, 100*(ns/ref.NsPerOp-1), ref.NsPerOp)
+		}
+	}
 	return nil
 }
 
-// parseAllocs extracts the allocs/op figure from a -benchmem result line
-// (`BenchmarkX  N  ns/op  B/op  allocs/op`), tolerating the -cpu suffix
-// go test appends to the benchmark name.
-func parseAllocs(bench, out string) (int64, error) {
-	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(bench) + `(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+[\d.]+ B/op\s+(\d+) allocs/op`)
+// parseResult extracts the ns/op and allocs/op figures from a -benchmem
+// result line (`BenchmarkX  N  ns/op  B/op  allocs/op`), tolerating the
+// -cpu suffix go test appends to the benchmark name.
+func parseResult(bench, out string) (float64, int64, error) {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(bench) + `(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+[\d.]+ B/op\s+(\d+) allocs/op`)
 	m := re.FindStringSubmatch(out)
 	if m == nil {
-		return 0, fmt.Errorf("no -benchmem result line for %s", bench)
+		return 0, 0, fmt.Errorf("no -benchmem result line for %s", bench)
 	}
-	return strconv.ParseInt(m[1], 10, 64)
+	ns, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	allocs, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ns, allocs, nil
 }

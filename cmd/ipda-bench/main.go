@@ -8,6 +8,7 @@
 //	ipda-bench -exp fig6              # one experiment
 //	ipda-bench -exp all               # everything (minutes)
 //	ipda-bench -exp fig7 -trials 20   # more trials per point
+//	ipda-bench -exp scale -shards 4   # sharded scale run (output is shard-independent)
 //	ipda-bench -exp all -progress     # live trials-completed counter
 //	ipda-bench -list                  # show experiment IDs
 //
@@ -38,6 +39,7 @@ func main() {
 		seed     = flag.Uint64("seed", 2024, "root random seed")
 		sizes    = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "intra-trial shard workers for sharded experiments (0 = 1; output is shard-independent)")
 		format   = flag.String("format", "text", "output format: text | csv")
 		progress = flag.Bool("progress", false, "report trials completed per sweep on stderr")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -85,7 +87,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards}
 	// Progress reporting and -metrics both read the instrumentation
 	// registry; experiment tables stay byte-identical either way.
 	var sink *obs.Sink

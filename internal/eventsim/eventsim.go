@@ -234,3 +234,66 @@ func (s *Sim) Run(deadline Time) uint64 {
 func (s *Sim) RunAll() uint64 {
 	return s.Run(Time(math.Inf(1)))
 }
+
+// NextAt returns the time of the earliest scheduled event, or false when
+// the queue is empty. It is the peek a conservative parallel coordinator
+// needs to derive a safe horizon from neighboring kernels' schedules.
+func (s *Sim) NextAt() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// RunUntil executes events strictly before limit and returns the number
+// fired. Unlike Run, it does NOT advance the clock to limit when the queue
+// drains early: the clock stays at the last fired event, so events merged
+// in from outside afterwards (cross-shard frames with timestamps in
+// (now, limit)) can still be scheduled without violating monotonic time.
+// This is the bounded-horizon drain the sharded engine runs between
+// synchronization barriers.
+func (s *Sim) RunUntil(limit Time) uint64 {
+	start := s.fired
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		if s.queue[0].at >= limit {
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		s.fired++
+		fn := ev.fn
+		s.recycle(ev)
+		fn()
+	}
+	return s.fired - start
+}
+
+// RunAt executes every event scheduled exactly at time t, including events
+// those callbacks newly schedule at t, and returns the number fired. It is
+// the serialized tie-breaking step of the sharded engine: when several
+// shards share the same next-event instant, the coordinator drains that
+// one instant shard by shard in deterministic order. Calling RunAt with t
+// already in the past panics — it would reorder history.
+func (s *Sim) RunAt(t Time) uint64 {
+	if t < s.now {
+		panic(fmt.Sprintf("eventsim: RunAt(%v) before now %v", t, s.now))
+	}
+	start := s.fired
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		if s.queue[0].at != t {
+			if s.queue[0].at < t {
+				panic(fmt.Sprintf("eventsim: RunAt(%v) found earlier event at %v", t, s.queue[0].at))
+			}
+			break
+		}
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		s.fired++
+		fn := ev.fn
+		s.recycle(ev)
+		fn()
+	}
+	return s.fired - start
+}

@@ -9,20 +9,25 @@ import (
 // renderTable runs one experiment and renders its table (text + CSV) for
 // byte-level comparison. Sizes and trials are kept small; the point of the
 // tests below is scheduling- and reuse-independence, not statistical power.
-func renderTable(t *testing.T, name string, workers int, fresh bool) string {
+func renderTable(t *testing.T, name string, workers, shards int, fresh bool) string {
 	t.Helper()
-	o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 99, Workers: workers, FreshWorlds: fresh}
+	o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 99, Workers: workers, Shards: shards, FreshWorlds: fresh}
 	if name == "indist" {
 		o.Trials = 2000
 	}
+	if name == "scale" {
+		// Sizes whose default partitions have 2 and 4 cluster regions, so
+		// intra-trial sharding actually has work to distribute.
+		o.Sizes = []int{600, 900}
+	}
 	tb, err := Run(name, o)
 	if err != nil {
-		t.Fatalf("%s workers=%d fresh=%v: %v", name, workers, fresh, err)
+		t.Fatalf("%s workers=%d shards=%d fresh=%v: %v", name, workers, shards, fresh, err)
 	}
 	var buf bytes.Buffer
 	tb.Fprint(&buf)
 	if err := tb.WriteCSV(&buf); err != nil {
-		t.Fatalf("%s workers=%d fresh=%v: %v", name, workers, fresh, err)
+		t.Fatalf("%s workers=%d shards=%d fresh=%v: %v", name, workers, shards, fresh, err)
 	}
 	return buf.String()
 }
@@ -38,10 +43,36 @@ func TestEveryExperimentDeterministicAcrossWorkers(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			seq := renderTable(t, name, 1, false)
-			par := renderTable(t, name, 8, false)
+			seq := renderTable(t, name, 1, 0, false)
+			par := renderTable(t, name, 8, 0, false)
 			if seq != par {
 				t.Errorf("table differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestEveryExperimentDeterministicAcrossShards extends the guarantee to
+// intra-trial sharding: Options.Shards is execution-only parallelism, so
+// every registered experiment — whether it shards or ignores the knob —
+// must produce byte-identical tables at Shards=1 and Shards=K, on pooled
+// arenas (the default path, where each shard worker gets a sub-arena) and,
+// at one K, on fresh worlds.
+func TestEveryExperimentDeterministicAcrossShards(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := renderTable(t, name, 2, 1, false)
+			for _, shards := range []int{2, 4, 8} {
+				got := renderTable(t, name, 2, shards, false)
+				if got != base {
+					t.Errorf("table differs between Shards=1 and Shards=%d:\n--- shards=1 ---\n%s--- shards=%d ---\n%s",
+						shards, base, shards, got)
+				}
+			}
+			if got := renderTable(t, name, 2, 4, true); got != base {
+				t.Errorf("table differs between pooled Shards=1 and fresh Shards=4:\n--- pooled ---\n%s--- fresh ---\n%s", base, got)
 			}
 		})
 	}

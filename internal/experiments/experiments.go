@@ -37,6 +37,10 @@ type Options struct {
 	Seed uint64
 	// Workers bounds trial parallelism; 0 selects GOMAXPROCS.
 	Workers int
+	// Shards bounds intra-trial parallelism for experiments that run one
+	// sharded simulation per trial (the scale experiments); 0 selects 1.
+	// Execution-only: tables are byte-identical for every Shards value.
+	Shards int
 	// Progress, when non-nil, receives (trialsDone, trialsTotal) after
 	// each completed trial of each sweep the experiment runs.
 	Progress func(done, total int)
@@ -58,6 +62,13 @@ func (o Options) sizes() []int {
 		return []int{200, 300, 400, 500, 600}
 	}
 	return o.Sizes
+}
+
+func (o Options) shards() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
 }
 
 func (o Options) trials(def int) int {

@@ -34,6 +34,7 @@ var Registry = map[string]Func{
 	"churn":     Churn,
 	"lifetime":  Lifetime,
 	"mtrees":    MTrees,
+	"scale":     Scale,
 }
 
 // Names returns the registered experiment IDs in stable order.

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/harness"
+	"github.com/ipda-sim/ipda/internal/shard"
+	"github.com/ipda-sim/ipda/internal/topology"
+	"github.com/ipda-sim/ipda/internal/world"
+)
+
+// scaleConfig extends the paper's deployment to large fields at constant
+// density: the 400 m side that houses 400 sensors grows with sqrt(n) so
+// node degree stays at the paper's operating point instead of the channel
+// melting down as n grows.
+func scaleConfig(nodes int) topology.Config {
+	side := 400 * math.Sqrt(float64(nodes+1)/401)
+	return topology.Config{Nodes: nodes, FieldSide: side, Range: 50}
+}
+
+// Scale runs the hierarchical sharded COUNT query on fields beyond the
+// paper's 600-node ceiling: the deployment is partitioned into cluster
+// regions (~250 nodes each, the validated band), every region runs a full
+// iPDA instance on its own channel, and the cluster heads feed the
+// red/blue backbone. Options.Shards sets the worker goroutines per trial;
+// every column is shard- and worker-independent.
+func Scale(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "scale",
+		Title: "Hierarchical sharded iPDA at large n",
+		Columns: []string{
+			"nodes", "regions", "participants", "count",
+			"accepted regions", "backbone ok", "bytes/node", "frames/node",
+		},
+		Notes: []string{
+			"constant-density fields (paper density at n=400); one channel per cluster region",
+			"count is the backbone red total; backbone ok means every region passed and |S_b-S_r| <= R*Th",
+		},
+	}
+	sizes := o.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{2000, 10000}
+	}
+	shards := o.shards()
+	s := o.sweep("scale", len(sizes), 2)
+	regions := harness.NewAcc(s)
+	participants := harness.NewAcc(s)
+	count := harness.NewAcc(s)
+	accepted := harness.NewAcc(s)
+	backboneOK := harness.NewAcc(s)
+	bytesPer := harness.NewAcc(s)
+	framesPer := harness.NewAcc(s)
+	err := s.Run(func(tr *harness.T) error {
+		n := sizes[tr.Point]
+		arena := world.FromTrial(tr)
+		net, err := arena.Deploy(scaleConfig(n), tr.Rng.Split(1))
+		if err != nil {
+			return err
+		}
+		plan := shard.NewPlan(net, shard.DefaultRegions(n))
+		out, err := shard.RunHier(plan, core.DefaultConfig(), tr.Rng.Split(2), shards, arena)
+		if err != nil {
+			return err
+		}
+		regions.Add(tr, float64(out.Regions))
+		participants.Add(tr, float64(out.Participants))
+		count.Add(tr, float64(out.Red))
+		accepted.Add(tr, float64(out.Accepted))
+		ok := 0.0
+		if out.AllAccepted {
+			ok = 1
+		}
+		backboneOK.Add(tr, ok)
+		bytesPer.Add(tr, float64(out.Bytes)/float64(net.N()))
+		framesPer.Add(tr, float64(out.Frames)/float64(net.N()))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range sizes {
+		t.AddRow(
+			d(int64(n)),
+			f(regions.Point(pi).Mean()),
+			f(participants.Point(pi).Mean()),
+			f(count.Point(pi).Mean()),
+			f(accepted.Point(pi).Mean()),
+			f(backboneOK.Point(pi).Mean()),
+			f(bytesPer.Point(pi).Mean()),
+			f(framesPer.Point(pi).Mean()),
+		)
+	}
+	return t, nil
+}

@@ -60,13 +60,38 @@ func (r Rect) Center() Point {
 // GridIndex is a uniform-grid spatial index over a fixed set of points,
 // specialized for fixed-radius neighbor queries: cells are sized to the
 // query radius so a query inspects at most 9 cells.
+//
+// Cell contents are stored CSR-style: one flat array of point indices
+// grouped by cell, with an offsets table, rather than one slice per cell.
+// That makes backing-storage growth explicit — Rebuild touches exactly
+// three arrays, each grown geometrically and only when the deployment
+// outgrows them — so rebuilding at wildly different sizes (a 100k-node
+// field after a 400-node one, or repartitioning shard regions per trial)
+// reaches a zero-allocation steady state instead of re-growing thousands
+// of per-cell buckets.
 type GridIndex struct {
-	bounds   Rect
-	cellSize float64
-	cols     int
-	rows     int
-	cells    [][]int32 // point indices per cell
-	points   []Point
+	bounds    Rect
+	cellSize  float64
+	cols      int
+	rows      int
+	cellStart []int32 // CSR offsets into cellPts; len cols*rows+1
+	cellPts   []int32 // point indices grouped by cell, point-index order within each
+	cursor    []int32 // per-cell insertion cursors, Rebuild scratch
+	points    []Point
+}
+
+// growI32 returns s resized to n, reallocating only when capacity is
+// exceeded and then growing geometrically so a sequence of rebuilds at
+// increasing sizes settles after O(log max) allocations.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		c := 2 * cap(s)
+		if c < n {
+			c = n
+		}
+		return make([]int32, n, c)
+	}
+	return s[:n]
 }
 
 // NewGridIndex builds an index over points with cells sized for queries of
@@ -99,17 +124,26 @@ func (g *GridIndex) Rebuild(bounds Rect, points []Point, radius float64) {
 	if g.rows < 1 {
 		g.rows = 1
 	}
+	// Counting sort into the flat CSR arrays: count per cell, prefix-sum
+	// into offsets, then place indices at per-cell cursors. Placement scans
+	// points in index order, so each cell's contents are in point-index
+	// order — the same order per-cell append insertion produced.
 	ncells := g.cols * g.rows
-	if cap(g.cells) < ncells {
-		g.cells = append(g.cells[:cap(g.cells)], make([][]int32, ncells-cap(g.cells))...)
+	g.cellStart = growI32(g.cellStart, ncells+1)
+	clear(g.cellStart)
+	for _, p := range points {
+		g.cellStart[g.cellOf(p)+1]++
 	}
-	g.cells = g.cells[:ncells]
-	for i := range g.cells {
-		g.cells[i] = g.cells[i][:0]
+	for c := 1; c <= ncells; c++ {
+		g.cellStart[c] += g.cellStart[c-1]
 	}
+	g.cellPts = growI32(g.cellPts, len(points))
+	g.cursor = growI32(g.cursor, ncells)
+	copy(g.cursor, g.cellStart[:ncells])
 	for i, p := range points {
 		c := g.cellOf(p)
-		g.cells[c] = append(g.cells[c], int32(i))
+		g.cellPts[g.cursor[c]] = int32(i)
+		g.cursor[c]++
 	}
 }
 
@@ -145,7 +179,8 @@ func (g *GridIndex) Neighbors(i int, radius float64, dst []int) []int {
 			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
 				continue
 			}
-			for _, j := range g.cells[y*g.cols+x] {
+			c := y*g.cols + x
+			for _, j := range g.cellPts[g.cellStart[c]:g.cellStart[c+1]] {
 				if int(j) == i {
 					continue
 				}
@@ -170,7 +205,8 @@ func (g *GridIndex) NeighborsOf(q Point, radius float64, dst []int) []int {
 			if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
 				continue
 			}
-			for _, j := range g.cells[y*g.cols+x] {
+			c := y*g.cols + x
+			for _, j := range g.cellPts[g.cellStart[c]:g.cellStart[c+1]] {
 				if q.Dist2(g.points[j]) <= r2 {
 					dst = append(dst, int(j))
 				}

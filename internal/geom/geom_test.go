@@ -156,3 +156,72 @@ func BenchmarkGridNeighbors(b *testing.B) {
 		buf = g.Neighbors(i%600, 50, buf[:0])
 	}
 }
+
+// syntheticField fills dst with n deterministic pseudo-random points inside
+// a side×side square (no rng dependency: a fixed LCG keeps geom leaf-level).
+func syntheticField(dst []Point, n int, side float64) []Point {
+	dst = dst[:0]
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Point{X: next() * side, Y: next() * side})
+	}
+	return dst
+}
+
+func TestRebuildAllocFreeAcrossSizes(t *testing.T) {
+	// Satellite pin: once the index has seen its largest deployment, rebuilds
+	// at ANY size — including shrink-then-regrow cycles and changed bounds —
+	// must not allocate. This is what keeps per-trial repartitioning at
+	// N=100k from silently reallocating.
+	g := &GridIndex{}
+	var pts []Point
+	sizes := []struct {
+		n    int
+		side float64
+	}{{100000, 4000}, {400, 290}, {10000, 1300}, {400, 290}, {100000, 4000}}
+	// Warm to the maximum footprint.
+	for _, s := range sizes {
+		pts = syntheticField(pts, s.n, s.side)
+		g.Rebuild(Square(s.side), pts, 50)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10, func() {
+		s := sizes[i%len(sizes)]
+		i++
+		pts = syntheticField(pts, s.n, s.side)
+		g.Rebuild(Square(s.side), pts, 50)
+	})
+	if allocs != 0 {
+		t.Fatalf("Rebuild allocated %v per run after warmup, want 0", allocs)
+	}
+}
+
+func TestRebuildMatchesFreshAfterResize(t *testing.T) {
+	// A reused index rebuilt small→large→small must answer queries exactly
+	// like a fresh one (contents and order), proving leftover storage from
+	// other shapes never leaks into results.
+	var pts []Point
+	reused := &GridIndex{}
+	for _, n := range []int{500, 20000, 500, 3000} {
+		side := 100 * math.Sqrt(float64(n)/500)
+		pts = syntheticField(pts, n, side)
+		reused.Rebuild(Square(side), pts, 50)
+		fresh := NewGridIndex(Square(side), pts, 50)
+		for _, probe := range []int{0, n / 3, n - 1} {
+			a := reused.Neighbors(probe, 50, nil)
+			b := fresh.Neighbors(probe, 50, nil)
+			if len(a) != len(b) {
+				t.Fatalf("n=%d probe=%d: reused %d neighbors, fresh %d", n, probe, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("n=%d probe=%d: neighbor[%d] = %d vs fresh %d", n, probe, k, a[k], b[k])
+				}
+			}
+		}
+	}
+}

@@ -13,6 +13,8 @@
 package mac
 
 import (
+	"fmt"
+
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
@@ -83,6 +85,7 @@ type MAC struct {
 	cfg      Config
 	rand     *rng.Stream
 	handlers []Handler
+	passive  []bool
 	queues   [][]*frameState
 	fsFree   []*frameState // recycled frame records
 	busy     []bool
@@ -167,6 +170,7 @@ func (m *MAC) Reset(n int, cfg Config, rand *rng.Stream) {
 	}
 	m.queues = resizeQueues(m.queues, n)
 	m.handlers = resizeHandlers(m.handlers, n)
+	m.passive = resizeBools(m.passive, n)
 	m.busy = resizeBools(m.busy, n)
 	m.seq = resizeU16(m.seq, n)
 	m.awaiting = resizeU16(m.awaiting, n)
@@ -294,6 +298,14 @@ func resizeFns(s []func(), n int) []func() {
 // SetHandler installs the upward delivery callback for a node.
 func (m *MAC) SetHandler(id topology.NodeID, h Handler) { m.handlers[id] = h }
 
+// SetPassive marks a node as a border mirror owned by another shard: its
+// radio presence (carrier sense, collisions, injected foreign frames) is
+// fully modelled, but this MAC never acts for it — no ACKs, no upward
+// delivery, no duplicate bookkeeping. The node's home shard does all of
+// that; reacting here too would double every response. Reset clears all
+// passive marks.
+func (m *MAC) SetPassive(id topology.NodeID, passive bool) { m.passive[id] = passive }
+
 // macObs holds the MAC's pre-resolved instrument handles; nil disables
 // instrumentation for one pointer check per event.
 type macObs struct {
@@ -338,6 +350,9 @@ func (m *MAC) QueueLen(id topology.NodeID) int { return len(m.queues[id]) }
 // copied at enqueue — the caller keeps pkt and may reuse it immediately —
 // and the MAC assigns the copy's Seq.
 func (m *MAC) Send(src topology.NodeID, pkt *packet.Packet) {
+	if m.passive[src] {
+		panic(fmt.Sprintf("mac: Send from passive mirror node %d", src))
+	}
 	m.stats.Enqueued++
 	m.seq[src]++
 	f := m.getFrame()
@@ -489,6 +504,9 @@ func (m *MAC) dequeue(src topology.NodeID) {
 // (see Handler: valid only during the call), so the whole receive path —
 // ACKs, duplicates, and deliveries alike — costs no allocation.
 func (m *MAC) onReceive(self topology.NodeID, frame []byte) {
+	if m.passive[self] {
+		return
+	}
 	p := &m.rxScratch
 	if err := packet.DecodeFrame(p, frame); err != nil {
 		return

@@ -47,6 +47,11 @@ type Receiver func(self topology.NodeID, frame []byte)
 // frame slice must not be retained past the call.
 type Tap func(observer topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool)
 
+// TxHook observes every native transmission at its start — the export
+// point for cross-shard frame mirroring. Injected foreign frames never
+// fire it. The frame slice must not be retained past the call.
+type TxHook func(src topology.NodeID, dst int32, frame []byte, size int)
+
 // Stats are cumulative medium counters.
 type Stats struct {
 	FramesSent      uint64
@@ -74,6 +79,7 @@ type Medium struct {
 	lossRate  float64
 	lossRand  *rng.Stream
 	obs       *mediumObs
+	txHook    TxHook
 }
 
 // mediumObs holds the medium's pre-resolved instrument handles, indexed
@@ -187,6 +193,7 @@ func (m *Medium) Reset(net *topology.Network) {
 	m.lossRate = 0
 	m.lossRand = nil
 	m.obs = nil
+	m.txHook = nil
 }
 
 func resizeReceivers(s []Receiver, n int) []Receiver {
@@ -290,23 +297,50 @@ func (m *Medium) getTx() *transmission {
 // sender's degree: all receptions end at the same instant and are resolved
 // by the same event in neighbor order.
 func (m *Medium) Transmit(src topology.NodeID, dst int32, frame []byte, size int) {
+	m.transmit(src, dst, frame, size, true)
+}
+
+// InjectForeign replays a transmission that originated in another shard's
+// medium: the physics — channel occupancy at the source mirror, carrier
+// sense, collisions, half-duplex, receptions — are identical to Transmit,
+// but tx-side accounting (frame/byte counters, energy charge, obs tx
+// metrics) is skipped, because the frame's home medium already charged
+// them, and the tx hook does not re-fire, so a mirrored frame can never
+// echo back across the border. The caller must invoke it at the frame's
+// original timestamp (schedule it via the owning sim).
+func (m *Medium) InjectForeign(src topology.NodeID, dst int32, frame []byte, size int) {
+	m.transmit(src, dst, frame, size, false)
+}
+
+// SetTxHook installs a callback fired at the start of every native
+// transmission (never for injected foreign ones). The sharded engine uses
+// it to export border traffic to neighbor shards. The frame slice is only
+// valid for the duration of the call. Reset detaches the hook.
+func (m *Medium) SetTxHook(h TxHook) { m.txHook = h }
+
+func (m *Medium) transmit(src topology.NodeID, dst int32, frame []byte, size int, native bool) {
 	now := m.sim.Now()
 	if m.txUntil[src] > now {
 		panic(fmt.Sprintf("radio: node %d transmit while transmitting", src))
 	}
 	dur := m.Duration(size)
 	m.txUntil[src] = now + dur
-	m.nodeSent[src] += uint64(size)
-	m.nodeCount[src]++
-	m.stats.FramesSent++
-	m.stats.BytesSent += uint64(size)
-	if m.meter != nil {
-		m.meter.ChargeTx(src, size)
-	}
-	if m.obs != nil {
-		k := packet.FrameKind(frame)
-		m.obs.txFrames[k].Inc()
-		m.obs.txBytes[k].Add(float64(size))
+	if native {
+		m.nodeSent[src] += uint64(size)
+		m.nodeCount[src]++
+		m.stats.FramesSent++
+		m.stats.BytesSent += uint64(size)
+		if m.meter != nil {
+			m.meter.ChargeTx(src, size)
+		}
+		if m.obs != nil {
+			k := packet.FrameKind(frame)
+			m.obs.txFrames[k].Inc()
+			m.obs.txBytes[k].Add(float64(size))
+		}
+		if m.txHook != nil {
+			m.txHook(src, dst, frame, size)
+		}
 	}
 
 	// A node that starts transmitting corrupts any reception in progress

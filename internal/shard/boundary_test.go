@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// tx is one scripted transmission for the oracle comparison: the same
+// script drives the single-world oracle and every sharded configuration.
+type tx struct {
+	at   eventsim.Time
+	src  topology.NodeID
+	dst  int32
+	size int
+	tag  byte // payload marker so tap logs identify the frame
+}
+
+// airEvent is one tap observation, the comparison unit of the oracle
+// tests. Equal multisets of airEvents mean the shared channel behaved
+// identically: same frames audible at the same nodes at the same times
+// with the same collision outcomes.
+type airEvent struct {
+	at       eventsim.Time
+	observer topology.NodeID
+	src      topology.NodeID
+	dst      int32
+	tag      byte
+	collided bool
+}
+
+type probe struct {
+	at   eventsim.Time
+	node topology.NodeID
+}
+
+func sortAir(evs []airEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.observer != b.observer {
+			return a.observer < b.observer
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.tag < b.tag
+	})
+}
+
+// runOracle executes the script on one global world and returns the full
+// tap log plus carrier-sense probe results.
+func runOracle(script []tx, probes []probe, net *topology.Network) ([]airEvent, []bool) {
+	sim := eventsim.New()
+	med := radio.New(sim, net, radio.PaperRate)
+	var log []airEvent
+	med.AddTap(func(obs topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool) {
+		log = append(log, airEvent{sim.Now(), obs, src, int32(dst), frame[0], collided})
+	})
+	for _, s := range script {
+		s := s
+		sim.At(s.at, func() { med.Transmit(s.src, s.dst, []byte{s.tag}, s.size) })
+	}
+	sense := make([]bool, len(probes))
+	for i, p := range probes {
+		i, p := i, p
+		sim.At(p.at, func() { sense[i] = med.Busy(p.node) })
+	}
+	sim.RunAll()
+	return log, sense
+}
+
+// runSharded executes the same script across a coupled partition:
+// transmissions fire in their sender's home domain, taps record only at
+// owned observers (a mirror's outcome belongs to its home region), and
+// each probe asks the probed node's home domain.
+func runSharded(script []tx, probes []probe, net *topology.Network, regions, workers int) ([]airEvent, []bool) {
+	part := topology.PartitionGrid(net, regions)
+	c := NewCoupled(part, radio.PaperRate, workers)
+	// One log per domain: taps fire inside domain goroutines during
+	// parallel phases, so a shared slice would race.
+	logs := make([][]airEvent, len(c.Domains))
+	for i, d := range c.Domains {
+		d, region := d, i
+		d.Med.AddTap(func(obs topology.NodeID, src, dst topology.NodeID, frame []byte, collided bool) {
+			if int(part.Owner[obs]) == region {
+				logs[region] = append(logs[region], airEvent{d.Sim.Now(), obs, src, int32(dst), frame[0], collided})
+			}
+		})
+	}
+	for _, s := range script {
+		s := s
+		d := c.Domains[part.Owner[s.src]]
+		d.Sim.At(s.at, func() { d.Med.Transmit(s.src, s.dst, []byte{s.tag}, s.size) })
+	}
+	sense := make([]bool, len(probes))
+	for i, p := range probes {
+		i, p := i, p
+		d := c.Domains[part.Owner[p.node]]
+		d.Sim.At(p.at, func() { sense[i] = d.Med.Busy(p.node) })
+	}
+	c.Run()
+	var log []airEvent
+	for _, l := range logs {
+		log = append(log, l...)
+	}
+	return log, sense
+}
+
+// assertOracleMatch runs the script through the oracle and through
+// sharded configurations with 2, 4, and 8 requested regions (at 1 and 4
+// workers each) and requires tap logs and carrier-sense probes to match
+// event for event.
+func assertOracleMatch(t *testing.T, name string, net *topology.Network, script []tx, probes []probe) {
+	t.Helper()
+	wantLog, wantSense := runOracle(script, probes, net)
+	sortAir(wantLog)
+	for _, regions := range []int{2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			gotLog, gotSense := runSharded(script, probes, net, regions, workers)
+			sortAir(gotLog)
+			if len(gotLog) != len(wantLog) {
+				t.Fatalf("%s regions=%d workers=%d: %d air events, oracle has %d",
+					name, regions, workers, len(gotLog), len(wantLog))
+			}
+			for i := range wantLog {
+				if gotLog[i] != wantLog[i] {
+					t.Fatalf("%s regions=%d workers=%d: air event %d = %+v, oracle %+v",
+						name, regions, workers, i, gotLog[i], wantLog[i])
+				}
+			}
+			for i := range wantSense {
+				if gotSense[i] != wantSense[i] {
+					t.Fatalf("%s regions=%d workers=%d: probe %d (node %d at %v) = %v, oracle %v",
+						name, regions, workers, i, probes[i].node, probes[i].at, gotSense[i], wantSense[i])
+				}
+			}
+		}
+	}
+}
+
+// borderNet is a 6x6 lattice (spacing 40 m, range 50 m) plus the base
+// station: only rank-1 lattice neighbors are in range, and a vertical
+// partition border runs through the middle with several nodes within one
+// transmission range of it on both sides.
+func borderNet(t *testing.T) *topology.Network {
+	t.Helper()
+	net, err := topology.Grid(6, 40, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// lattice returns the node ID of lattice position (x, y) in borderNet
+// (IDs start at 1; 0 is the base station at the field center).
+func lattice(x, y int) topology.NodeID { return topology.NodeID(1 + y*6 + x) }
+
+func TestBoundaryPhysics(t *testing.T) {
+	net := borderNet(t)
+	dur := eventsim.Time(30 * 8 / radio.PaperRate) // 30-byte frame airtime
+	cases := []struct {
+		name   string
+		script []tx
+		probes []probe
+	}{
+		{
+			// A unicast frame whose sender and receiver straddle the border.
+			name: "cross-border delivery",
+			script: []tx{
+				{at: 0, src: lattice(2, 2), dst: int32(lattice(3, 2)), size: 30, tag: 1},
+			},
+		},
+		{
+			// Two senders on opposite sides of the border, in range of each
+			// other, overlapping in time: every common hearer must see the
+			// collision, on both sides.
+			name: "cross-border collision",
+			script: []tx{
+				{at: 0, src: lattice(2, 2), dst: packet.Broadcast, size: 30, tag: 1},
+				{at: dur / 3, src: lattice(3, 2), dst: packet.Broadcast, size: 30, tag: 2},
+			},
+		},
+		{
+			// Hidden terminals: senders 80 m apart (out of range of each
+			// other) with the victim between them on the border. Neither
+			// sender defers, the victim loses both frames.
+			name: "hidden terminal across border",
+			script: []tx{
+				{at: 0, src: lattice(2, 3), dst: int32(lattice(3, 3)), size: 30, tag: 1},
+				{at: dur / 2, src: lattice(4, 3), dst: int32(lattice(3, 3)), size: 30, tag: 2},
+			},
+		},
+		{
+			// Carrier sense: while a region-0 node transmits, its region-1
+			// neighbors must sense busy; nodes out of range must not.
+			name: "carrier sense across border",
+			script: []tx{
+				{at: 0, src: lattice(2, 1), dst: packet.Broadcast, size: 30, tag: 1},
+			},
+			probes: []probe{
+				{at: dur / 2, node: lattice(3, 1)}, // in range, other region: busy
+				{at: dur / 2, node: lattice(5, 1)}, // out of range: idle
+				{at: 2 * dur, node: lattice(3, 1)}, // after end of air: idle
+			},
+		},
+		{
+			// Half-duplex: the addressed receiver is itself transmitting
+			// when the cross-border frame arrives and must not decode it.
+			name: "half-duplex at border",
+			script: []tx{
+				{at: 0, src: lattice(3, 4), dst: packet.Broadcast, size: 60, tag: 1},
+				{at: dur / 4, src: lattice(2, 4), dst: int32(lattice(3, 4)), size: 30, tag: 2},
+			},
+		},
+		{
+			// Same-instant starts on both sides of the border — the tie
+			// phase of the engine: both frames must corrupt each other at
+			// common hearers exactly as the single world resolves it.
+			name: "simultaneous cross-border starts",
+			script: []tx{
+				{at: 0.001, src: lattice(2, 2), dst: packet.Broadcast, size: 30, tag: 1},
+				{at: 0.001, src: lattice(3, 2), dst: packet.Broadcast, size: 30, tag: 2},
+			},
+		},
+		{
+			// Far-apart transmitters in different regions at the same time:
+			// no false coupling, both deliver cleanly.
+			name: "out-of-range independence",
+			script: []tx{
+				{at: 0, src: lattice(0, 0), dst: int32(lattice(1, 0)), size: 30, tag: 1},
+				{at: 0, src: lattice(5, 5), dst: int32(lattice(4, 5)), size: 30, tag: 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			assertOracleMatch(t, tc.name, net, tc.script, tc.probes)
+		})
+	}
+}
+
+// TestBoundarySoak drives a deterministic random script — every node
+// transmitting repeatedly with varied sizes, destinations, and overlap —
+// and requires the sharded engine to match the oracle frame-for-frame.
+// Per-node send times are spaced past each frame's airtime so the script
+// never violates the radio's transmit-while-transmitting contract.
+func TestBoundarySoak(t *testing.T) {
+	net := borderNet(t)
+	r := rng.New(0xB0A7)
+	var script []tx
+	nextFree := make([]eventsim.Time, net.N())
+	for i := 0; i < 400; i++ {
+		src := topology.NodeID(r.Intn(net.N()))
+		size := 20 + r.Intn(60)
+		at := eventsim.Time(r.Float64() * 0.25)
+		if at < nextFree[src] {
+			at = nextFree[src]
+		}
+		dst := packet.Broadcast
+		if nbs := net.Neighbors(src); len(nbs) > 0 && r.Bool(0.5) {
+			dst = int32(nbs[r.Intn(len(nbs))])
+		}
+		nextFree[src] = at + eventsim.Time(float64(size)*8/radio.PaperRate) + 1e-6
+		script = append(script, tx{at: at, src: src, dst: dst, size: size, tag: byte(i)})
+	}
+	assertOracleMatch(t, "soak", net, script, nil)
+}

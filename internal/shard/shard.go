@@ -1,0 +1,332 @@
+// Package shard scales a single simulated trial across CPU cores by
+// spatial decomposition, in two complementary modes.
+//
+// The coupled engine (this file) partitions the field into regions and
+// runs one event kernel + radio medium (+ optional MAC) per region over a
+// SHARED channel, synchronizing the kernels with a conservative,
+// deadlock-free protocol. Physics stay exact: every cross-region frame is
+// mirrored into the regions that could hear it, carrier sense and
+// collisions included, and the merged outcome is event-for-event the one
+// a single global world would produce. Because the radio model has zero
+// propagation delay, the classic static lookahead (minimum link latency)
+// is zero; the engine instead derives each region's safe horizon from its
+// neighbors' earliest pending events — cross-region influence travels
+// only on transmissions, and transmissions happen only AT events, so a
+// region may safely execute everything strictly before the earliest thing
+// any neighbor might still do. Reactive domains (MACs attached) can also
+// emit transmissions their neighbors have not yet seen coming — an ACK or
+// a handler-triggered send spawned by a frame still in flight — so there
+// the horizon uses earliest-output times: a reaction needs its trigger
+// frame fully received first, which takes at least one byte of airtime,
+// and that positive bound propagates through the region graph by
+// fixpoint relaxation (see Run).
+//
+// Two properties make the loop correct and deterministic (see DESIGN.md
+// for the full argument):
+//
+//   - Neighboring regions are never runnable in the same parallel phase:
+//     d runnable means next(d) < next(q) for every neighbor q, which
+//     cannot hold symmetrically. Each parallel phase therefore advances
+//     an independent set, and its exports cannot affect another running
+//     region's past.
+//   - When no region is runnable, every region whose next event lies at
+//     the global minimum instant T executes exactly that instant
+//     serially, in region-index order, with immediate cross-injection —
+//     a fixed tie rule that makes results a function of region state
+//     only, independent of worker count or goroutine schedule.
+//
+// The hierarchical mode (hier.go) trades the shared channel for
+// frequency-planned cluster regions and is how trials reach 10^5-node
+// fields; the coupled engine is the exact-physics substrate used when
+// regions must share spectrum, and the oracle-equivalence tests pin it.
+package shard
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/mac"
+	"github.com/ipda-sim/ipda/internal/radio"
+	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Frame is one transmission exported across a region border, timestamped
+// in simulated time. Data is a frame-private copy of the payload, shared
+// read-only by every region the frame is injected into.
+type Frame struct {
+	At   eventsim.Time
+	Src  topology.NodeID
+	Dst  int32
+	Size int
+	Data []byte
+}
+
+// Domain is one region's simulation world: its own event kernel and
+// medium (and MAC, when attached) over the FULL global network, with the
+// nodes of other regions present only as passive mirrors — they occupy
+// the channel when their home region transmits through them, but this
+// domain never acts for them. Sharing the global node ID space means
+// frames cross borders without header rewriting.
+type Domain struct {
+	Region int
+	Sim    *eventsim.Sim
+	Med    *radio.Medium
+	MAC    *mac.MAC
+
+	out []Frame // exports staged during the current phase, in emission order
+	// pendingOut counts this domain's frames scheduled into neighbors but
+	// not yet injected — a diagnostic for the engine's independence
+	// property (a domain is never RUNNABLE while its exports are
+	// pending; see advance). Atomic because different neighbors may
+	// consume injections concurrently during a parallel phase.
+	pendingOut atomic.Int64
+}
+
+// export stages a native transmission for cross-border distribution. The
+// payload is copied into a frame-private buffer: the staged copy must
+// survive until every target has injected it, and in the tie phase a
+// same-instant cascade can legally re-enter this domain — and re-export —
+// while a prior frame still awaits injection in a higher-index neighbor,
+// so buffers cannot be recycled by staging slot.
+func (d *Domain) export(src topology.NodeID, dst int32, frame []byte, size int) {
+	n := len(d.out)
+	if n < cap(d.out) {
+		d.out = d.out[:n+1]
+	} else {
+		d.out = append(d.out, Frame{})
+	}
+	f := &d.out[n]
+	f.At = d.Sim.Now()
+	f.Src = src
+	f.Dst = dst
+	f.Size = size
+	f.Data = append([]byte(nil), frame...)
+}
+
+// Coupled is the conservative parallel engine over one partition.
+// Construction wires the domains; callers seed initial protocol events
+// into domain kernels (or attach MACs and Send) and then call Run.
+// The engine is driven from one goroutine; Run spawns and joins its own
+// workers internally.
+type Coupled struct {
+	Part    *topology.Partition
+	Domains []*Domain
+
+	workers int
+	rateBps float64
+	// lookahead is the minimum delay between a frame injected into a
+	// domain and any NEW native transmission that frame can cause there.
+	// Pure radio domains never react (mirrors are passive, every native
+	// transmission is pre-scheduled in its home domain), so the default is
+	// +Inf and horizons come from neighbor queues alone. Attaching MACs
+	// makes domains reactive — an ACK or a handler-triggered send follows
+	// a reception — but a reaction needs the frame fully received first,
+	// so it can start no earlier than one minimum frame airtime (one
+	// byte on the air) after the inject: that airtime is the lookahead.
+	lookahead eventsim.Time
+	next      []eventsim.Time
+	eot       []eventsim.Time
+	horizon   []eventsim.Time
+	runnable  []*Domain
+	barriers  uint64
+}
+
+// NewCoupled builds one domain per region of part, each with a medium at
+// rateBps over the shared global network. workers bounds the goroutines a
+// parallel phase uses; values < 1 select 1. Results are independent of
+// workers by construction.
+func NewCoupled(part *topology.Partition, rateBps float64, workers int) *Coupled {
+	if workers < 1 {
+		workers = 1
+	}
+	c := &Coupled{
+		Part:      part,
+		Domains:   make([]*Domain, part.R()),
+		workers:   workers,
+		rateBps:   rateBps,
+		lookahead: eventsim.Time(math.Inf(1)),
+		next:      make([]eventsim.Time, part.R()),
+		eot:       make([]eventsim.Time, part.R()),
+		horizon:   make([]eventsim.Time, part.R()),
+	}
+	for i := range c.Domains {
+		d := &Domain{Region: i, Sim: eventsim.New()}
+		d.Med = radio.New(d.Sim, part.Net, rateBps)
+		d.Med.SetTxHook(func(src topology.NodeID, dst int32, frame []byte, size int) {
+			if len(part.Exports(src)) > 0 {
+				d.export(src, dst, frame, size)
+			}
+		})
+		c.Domains[i] = d
+	}
+	return c
+}
+
+// AttachMACs creates one MAC per domain and marks every non-owned node
+// passive there: mirrors keep full radio physics but never ACK, deliver,
+// or originate. stream supplies each region's private randomness (use
+// deterministic per-region derivation, e.g. root.Split(region+1), so the
+// draw sequence is a function of the region alone).
+func (c *Coupled) AttachMACs(cfg mac.Config, stream func(region int) *rng.Stream) {
+	c.lookahead = eventsim.Time(8 / c.rateBps) // one byte of airtime; see Coupled.lookahead
+	n := c.Part.Net.N()
+	for i, d := range c.Domains {
+		d.MAC = mac.New(d.Sim, d.Med, n, cfg, stream(i))
+		for id := 0; id < n; id++ {
+			if int(c.Part.Owner[id]) != i {
+				d.MAC.SetPassive(topology.NodeID(id), true)
+			}
+		}
+	}
+}
+
+// distribute schedules d's staged exports into every region their sender
+// is audible from. Called serially (never during a parallel phase), in
+// region-index order across domains, so injection ordering — and with it
+// every target kernel's event sequence — is a deterministic function of
+// region states.
+func (c *Coupled) distribute(d *Domain) {
+	for i := range d.out {
+		f := &d.out[i]
+		for _, q := range c.Part.Exports(f.Src) {
+			t := c.Domains[q]
+			d.pendingOut.Add(1)
+			src, dst, data, size := f.Src, f.Dst, f.Data, f.Size
+			t.Sim.At(f.At, func() {
+				t.Med.InjectForeign(src, dst, data, size)
+				d.pendingOut.Add(-1)
+			})
+		}
+	}
+	d.out = d.out[:0]
+}
+
+// advance runs one domain up to its horizon, staging exports locally.
+func (c *Coupled) advance(d *Domain, limit eventsim.Time) {
+	if d.pendingOut.Load() != 0 {
+		panic("shard: domain advanced while its exported frames were still pending")
+	}
+	d.Sim.RunUntil(limit)
+}
+
+// Barriers returns the number of synchronization rounds Run executed —
+// a diagnostic for tests and tuning, never part of experiment output.
+func (c *Coupled) Barriers() uint64 { return c.barriers }
+
+// Run executes the coupled simulation until every domain's queue drains.
+//
+// Each round either advances, in parallel, every region whose next event
+// lies strictly before all of its neighbors' next events (an independent
+// set — see the package comment), or, when no region qualifies, executes
+// the globally earliest instant serially in region-index order with
+// immediate cross-injection. Exports are distributed between phases, in
+// region order. Every injected frame's timestamp is provably >= its
+// target's clock, so eventsim's monotonic-time guard doubles as the
+// engine's soundness check.
+func (c *Coupled) Run() {
+	inf := eventsim.Time(math.Inf(1))
+	for {
+		c.barriers++
+		// Earliest-output times: eot[i] bounds, from below, when region i
+		// could next put a NEW frame on a border. Without reactions that is
+		// its earliest known event; with reactions (finite lookahead L) a
+		// neighbor's output at u can cascade into output here at u+L, so
+		// eot is the fixpoint of eot[i] = min(next[i], min over neighbors q
+		// of eot[q]+L) — a shortest-path relaxation over the region graph,
+		// iterated in index order until stable (deterministic, and L > 0
+		// guarantees convergence).
+		earliest := inf
+		for i, d := range c.Domains {
+			if next, ok := d.Sim.NextAt(); ok {
+				c.next[i] = next
+				if next < earliest {
+					earliest = next
+				}
+			} else {
+				c.next[i] = inf
+			}
+		}
+		if earliest == inf {
+			return // all queues drained
+		}
+		copy(c.eot, c.next)
+		if c.lookahead < inf {
+			for changed := true; changed; {
+				changed = false
+				for i := range c.Domains {
+					for _, q := range c.Part.Neighbors(i) {
+						if v := c.eot[q] + c.lookahead; v < c.eot[i] {
+							c.eot[i] = v
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		// A region may run everything strictly before anything a neighbor
+		// could still emit; collect the runnable set.
+		c.runnable = c.runnable[:0]
+		for i, d := range c.Domains {
+			if c.next[i] == inf {
+				continue
+			}
+			h := inf
+			for _, q := range c.Part.Neighbors(i) {
+				if c.eot[q] < h {
+					h = c.eot[q]
+				}
+			}
+			if c.next[i] < h {
+				c.horizon[i] = h
+				c.runnable = append(c.runnable, d)
+			}
+		}
+		if len(c.runnable) > 0 {
+			run := c.runnable
+			if c.workers == 1 || len(run) == 1 {
+				for _, d := range run {
+					c.advance(d, c.horizon[d.Region])
+				}
+			} else {
+				w := c.workers
+				if w > len(run) {
+					w = len(run)
+				}
+				var wg sync.WaitGroup
+				for g := 0; g < w; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for j := g; j < len(run); j += w {
+							c.advance(run[j], c.horizon[run[j].Region])
+						}
+					}(g)
+				}
+				wg.Wait()
+			}
+			for _, d := range c.Domains {
+				if len(d.out) > 0 {
+					c.distribute(d)
+				}
+			}
+			continue
+		}
+		// Tie phase: no region can prove progress, so the earliest instant
+		// is executed serially in region-index order. Immediate distribution
+		// lets a later region see an earlier region's same-instant frames
+		// within this very phase; frames flowing "backwards" (to a region
+		// already past its RunAt) land at timestamp T with the target clock
+		// at exactly T and are consumed next round.
+		for _, d := range c.Domains {
+			if next, ok := d.Sim.NextAt(); ok && next == earliest {
+				d.Sim.RunAt(earliest)
+				if len(d.out) > 0 {
+					c.distribute(d)
+				}
+			}
+		}
+	}
+}

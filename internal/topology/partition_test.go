@@ -1,0 +1,234 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/rng"
+)
+
+func TestPartitionGridCoversAllNodes(t *testing.T) {
+	net, err := Random(PaperConfig(400), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionGrid(net, 4)
+	if p.R() < 4 {
+		t.Fatalf("R() = %d, want >= 4", p.R())
+	}
+	seen := make([]bool, net.N())
+	total := 0
+	for _, reg := range p.Regions {
+		for _, id := range reg.Owned {
+			if seen[id] {
+				t.Fatalf("node %d owned by two regions", id)
+			}
+			seen[id] = true
+			total++
+			if int(p.Owner[id]) != reg.Index {
+				t.Fatalf("Owner[%d] = %d, region says %d", id, p.Owner[id], reg.Index)
+			}
+			if !reg.Bounds.Contains(net.Positions[id]) {
+				t.Fatalf("node %d at %v outside its region bounds %+v", id, net.Positions[id], reg.Bounds)
+			}
+		}
+	}
+	if total != net.N() {
+		t.Fatalf("regions own %d of %d nodes", total, net.N())
+	}
+}
+
+func TestPartitionExportsCoverCrossRegionEdges(t *testing.T) {
+	// Soundness of border mirroring: for every radio edge (a, b) crossing a
+	// region boundary, a's export list must contain b's region — otherwise
+	// a frame from a would be invisible where b could hear it.
+	net, err := Random(PaperConfig(400), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []int{2, 4, 8} {
+		p := PartitionGrid(net, want)
+		for a := 0; a < net.N(); a++ {
+			for _, b := range net.Neighbors(NodeID(a)) {
+				ra, rb := p.Owner[a], p.Owner[b]
+				if ra == rb {
+					continue
+				}
+				found := false
+				for _, e := range p.Exports(NodeID(a)) {
+					if e == rb {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("want=%d: edge %d(r%d)->%d(r%d) not covered by exports %v",
+						want, a, ra, b, rb, p.Exports(NodeID(a)))
+				}
+				// And the regions must know they are coupled.
+				inNbrs := false
+				for _, q := range p.Neighbors(int(ra)) {
+					if q == rb {
+						inNbrs = true
+						break
+					}
+				}
+				if !inNbrs {
+					t.Fatalf("want=%d: regions %d and %d share edge %d-%d but are not neighbors", want, ra, rb, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionSingleRegionHasNoExports(t *testing.T) {
+	net, err := Random(PaperConfig(100), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionGrid(net, 1)
+	if p.R() != 1 {
+		t.Fatalf("R() = %d, want 1", p.R())
+	}
+	for id := 0; id < net.N(); id++ {
+		if len(p.Exports(NodeID(id))) != 0 {
+			t.Fatalf("node %d exports %v in a one-region partition", id, p.Exports(NodeID(id)))
+		}
+	}
+	if len(p.Neighbors(0)) != 0 {
+		t.Fatal("sole region has neighbors")
+	}
+}
+
+func TestInducedMatchesParentEdges(t *testing.T) {
+	net, err := Random(PaperConfig(300), rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionGrid(net, 4)
+	var pool Pool
+	for _, reg := range p.Regions {
+		if len(reg.Owned) == 0 {
+			continue
+		}
+		sub := pool.Induced(net, reg.Owned)
+		if sub.N() != len(reg.Owned) {
+			t.Fatalf("region %d: induced N = %d, want %d", reg.Index, sub.N(), len(reg.Owned))
+		}
+		for l, g := range reg.Owned {
+			if sub.Positions[l] != net.Positions[g] {
+				t.Fatalf("region %d: local %d position mismatch", reg.Index, l)
+			}
+			// The induced neighbor list must be exactly the parent's list
+			// filtered to members, in parent order.
+			want := 0
+			for _, nb := range net.Neighbors(g) {
+				if p.Owner[nb] == int32(reg.Index) {
+					want++
+				}
+			}
+			if sub.Degree(NodeID(l)) != want {
+				t.Fatalf("region %d: local %d degree %d, want %d", reg.Index, l, sub.Degree(NodeID(l)), want)
+			}
+			for _, lnb := range sub.Neighbors(NodeID(l)) {
+				gnb := reg.Owned[lnb]
+				if !net.InRange(g, gnb) {
+					t.Fatalf("region %d: induced edge %d-%d not a parent edge", reg.Index, l, lnb)
+				}
+			}
+		}
+	}
+}
+
+func TestInducedReuseAcrossRegions(t *testing.T) {
+	// A single pool slicing many differently-sized member sets (including
+	// after the parent itself changes) must keep producing correct subnets.
+	var pool Pool
+	for _, seed := range []uint64{1, 2} {
+		net, err := Random(PaperConfig(200), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []int{8, 2} {
+			p := PartitionGrid(net, want)
+			for _, reg := range p.Regions {
+				if len(reg.Owned) == 0 {
+					continue
+				}
+				sub := pool.Induced(net, reg.Owned)
+				edges := 0
+				for l := 0; l < sub.N(); l++ {
+					edges += sub.Degree(NodeID(l))
+				}
+				wantEdges := 0
+				for _, g := range reg.Owned {
+					for _, nb := range net.Neighbors(g) {
+						if p.Owner[nb] == int32(reg.Index) {
+							wantEdges++
+						}
+					}
+				}
+				if edges != wantEdges {
+					t.Fatalf("seed=%d want=%d region=%d: %d induced edge-ends, want %d",
+						seed, want, reg.Index, edges, wantEdges)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolRandomAllocFreeAcrossSizes(t *testing.T) {
+	// Satellite pin: a pool that has deployed its largest field stops
+	// allocating even when trial sizes alternate wildly (shrink/regrow),
+	// which is what per-trial repartitioning at scale produces.
+	if testing.Short() {
+		t.Skip("large-N pin skipped in -short")
+	}
+	var pool Pool
+	configs := []Config{
+		{Nodes: 400, FieldSide: 400, Range: 50},
+		{Nodes: 50000, FieldSide: 4200, Range: 50},
+		{Nodes: 400, FieldSide: 400, Range: 50},
+	}
+	r := rng.New(77)
+	for _, c := range configs { // warm to max footprint
+		if _, err := pool.Random(c, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(4, func() {
+		c := configs[i%len(configs)]
+		i++
+		if _, err := pool.Random(c, r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Pool.Random allocated %v per run after warmup, want 0", allocs)
+	}
+}
+
+func TestInducedAllocFreeSteadyState(t *testing.T) {
+	net, err := Random(PaperConfig(400), rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PartitionGrid(net, 8)
+	var pool Pool
+	for _, reg := range p.Regions { // warm
+		if len(reg.Owned) > 0 {
+			pool.Induced(net, reg.Owned)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		reg := p.Regions[i%p.R()]
+		i++
+		if len(reg.Owned) > 0 {
+			pool.Induced(net, reg.Owned)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Induced allocated %v per run after warmup, want 0", allocs)
+	}
+}

@@ -33,6 +33,7 @@ type Arena struct {
 	cores  map[string]*core.Instance
 	tags   map[string]*tag.Instance
 	mtrees map[string]*mtree.Instance
+	subs   []*Arena // per-shard-worker nested arenas, created on demand
 }
 
 // New returns an empty arena.
@@ -43,6 +44,37 @@ func New() *Arena { return &Arena{} }
 func FromTrial(t *harness.T) *Arena {
 	a, _ := t.State.(*Arena)
 	return a
+}
+
+// Sub returns the arena's i-th nested arena, creating it on first use —
+// the per-shard-worker state of a sharded trial. Each shard worker resets
+// and reuses its own sub-arena's pools, so sharding composes with world
+// reuse without sharing mutable state across goroutines. A nil arena
+// returns nil (which is itself a valid "no reuse" arena), keeping the
+// single code path for fresh and pooled modes.
+func (a *Arena) Sub(i int) *Arena {
+	if a == nil {
+		return nil
+	}
+	for len(a.subs) <= i {
+		a.subs = append(a.subs, New())
+	}
+	return a.subs[i]
+}
+
+// Induced slices the subnetwork of parent induced by members out of the
+// arena's pool (see topology.Pool.Induced); the result is valid until the
+// next Induced on this arena. A nil arena builds into a throwaway pool.
+// Sharded trials call this on per-shard-worker sub-arenas — each worker
+// goroutine needs its own induced-subnet storage — while the trial's own
+// arena keeps holding the live global deployment (the pool backs the two
+// roles with separate storage).
+func (a *Arena) Induced(parent *topology.Network, members []topology.NodeID) *topology.Network {
+	if a == nil {
+		var pool topology.Pool
+		return pool.Induced(parent, members)
+	}
+	return a.pool.Induced(parent, members)
 }
 
 // Deploy generates a random deployment, reusing the arena's topology pool.

@@ -222,6 +222,25 @@ func BenchmarkCountRound400(b *testing.B) {
 	}
 }
 
+// BenchmarkTDMADense times one COUNT round at the paper's N=400 operating
+// point under the contention-free slotted MAC — the dense-field regime
+// TDMA targets, where CSMA's exponential backoff dominates round latency.
+// Gated by cmd/benchgate against BENCH_fig7.json.
+func BenchmarkTDMADense(b *testing.B) {
+	cfg := DefaultConfig(400)
+	cfg.MAC = "tdma"
+	net, err := Deploy(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTAGRound400(b *testing.B) {
 	net, err := DeployTAG(DefaultConfig(400))
 	if err != nil {

@@ -16,9 +16,17 @@
 // BENCH_fig7.json (the single-world protocol path) and
 // BenchmarkShardScale against BENCH_scale.json (the sharded scale path).
 //
+// Besides the append-only "history" list, a file may carry a "gates" map
+// of named absolute references — fixed ceilings for micro-benchmarks
+// (the AES keystream path, the batch seal API, the TDMA round) that are
+// not part of any history trajectory. -key selects a gates entry instead
+// of the newest history entry; a gates reference with allocs_per_op 0 is
+// an exact zero-allocation pin, not a relative gate.
+//
 // Usage:
 //
 //	go run ./cmd/benchgate [-bench BenchmarkFig7Overhead] [-history BENCH_fig7.json] [-tolerance 0.10] [-ns-tolerance 0.40]
+//	go run ./cmd/benchgate -bench BenchmarkPRFKeystream -key BenchmarkPRFKeystream -pkg ./internal/linksec
 package main
 
 import (
@@ -31,14 +39,17 @@ import (
 	"strconv"
 )
 
+type reference struct {
+	Date        string  `json:"date"`
+	Label       string  `json:"label"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
 type history struct {
-	History []struct {
-		Date        string  `json:"date"`
-		Label       string  `json:"label"`
-		NsPerOp     float64 `json:"ns_per_op"`
-		BytesPerOp  float64 `json:"bytes_per_op"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
-	} `json:"history"`
+	History []reference          `json:"history"`
+	Gates   map[string]reference `json:"gates"`
 }
 
 func main() {
@@ -48,15 +59,16 @@ func main() {
 	nsTolerance := flag.Float64("ns-tolerance", 0.40, "allowed relative ns/op increase over the reference (0 disables the timing gate)")
 	benchtime := flag.String("benchtime", "3x", "-benchtime passed to go test")
 	pkg := flag.String("pkg", ".", "package holding the benchmark")
+	key := flag.String("key", "", "gate against this entry of the history file's \"gates\" map instead of the newest history entry")
 	flag.Parse()
 
-	if err := run(*bench, *file, *tolerance, *nsTolerance, *benchtime, *pkg); err != nil {
+	if err := run(*bench, *file, *key, *tolerance, *nsTolerance, *benchtime, *pkg); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, file string, tolerance, nsTolerance float64, benchtime, pkg string) error {
+func run(bench, file, key string, tolerance, nsTolerance float64, benchtime, pkg string) error {
 	raw, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -65,12 +77,28 @@ func run(bench, file string, tolerance, nsTolerance float64, benchtime, pkg stri
 	if err := json.Unmarshal(raw, &h); err != nil {
 		return fmt.Errorf("parse %s: %w", file, err)
 	}
-	if len(h.History) == 0 {
-		return fmt.Errorf("%s has no history entries to gate against", file)
-	}
-	ref := h.History[len(h.History)-1]
-	if ref.AllocsPerOp <= 0 {
-		return fmt.Errorf("%s newest entry has no allocs_per_op", file)
+	var ref reference
+	zeroAllocPin := false
+	if key != "" {
+		var ok bool
+		ref, ok = h.Gates[key]
+		if !ok {
+			return fmt.Errorf("%s has no gates entry %q", file, key)
+		}
+		if ref.Label == "" {
+			ref.Label = key
+		}
+		// A gates entry may legitimately pin 0 allocs/op; relative
+		// tolerance is meaningless there, so the gate becomes exact.
+		zeroAllocPin = ref.AllocsPerOp == 0
+	} else {
+		if len(h.History) == 0 {
+			return fmt.Errorf("%s has no history entries to gate against", file)
+		}
+		ref = h.History[len(h.History)-1]
+		if ref.AllocsPerOp <= 0 {
+			return fmt.Errorf("%s newest entry has no allocs_per_op", file)
+		}
 	}
 
 	cmd := exec.Command("go", "test", "-run", "^$",
@@ -85,9 +113,15 @@ func run(bench, file string, tolerance, nsTolerance float64, benchtime, pkg stri
 	}
 
 	limit := ref.AllocsPerOp * (1 + tolerance)
+	if zeroAllocPin {
+		limit = 0
+	}
 	fmt.Printf("benchgate: %s measured %d allocs/op; reference %q (%s) recorded %.0f (limit %.0f)\n",
 		bench, allocs, ref.Label, ref.Date, ref.AllocsPerOp, limit)
 	if float64(allocs) > limit {
+		if zeroAllocPin {
+			return fmt.Errorf("allocation regression: %d allocs/op on a path pinned to zero allocations", allocs)
+		}
 		return fmt.Errorf("allocation regression: %d allocs/op exceeds %.0f (%+.1f%% over the recorded %.0f)",
 			allocs, limit, 100*(float64(allocs)/ref.AllocsPerOp-1), ref.AllocsPerOp)
 	}

@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"github.com/ipda-sim/ipda/internal/experiments"
+	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
 )
 
@@ -40,6 +42,8 @@ func main() {
 		sizes    = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		shards   = flag.Int("shards", 0, "intra-trial shard workers for sharded experiments (0 = 1; output is shard-independent)")
+		cipher   = flag.String("cipher", "aes", "link-encryption keystream suite: aes | sha256 (tables are suite-independent)")
+		macFlag  = flag.String("mac", "csma", "channel-access scheme: csma | tdma (tdma retimes transmissions; tables differ from csma)")
 		format   = flag.String("format", "text", "output format: text | csv")
 		progress = flag.Bool("progress", false, "report trials completed per sweep on stderr")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -88,6 +92,18 @@ func main() {
 	}
 
 	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards}
+	suite, err := linksec.ParseSuite(*cipher)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipda-bench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.Suite = suite
+	scheme, err := mac.ParseScheme(*macFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ipda-bench: %v\n", err)
+		os.Exit(2)
+	}
+	opts.MAC = scheme
 	// Progress reporting and -metrics both read the instrumentation
 	// registry; experiment tables stay byte-identical either way.
 	var sink *obs.Sink

@@ -47,6 +47,8 @@ func main() {
 		churnRec    = flag.Float64("churn-recover", 0.25, "per-round probability that each dead node recovers")
 		kill        = flag.String("kill", "", "comma-separated node IDs crashed before round 0")
 		repair      = flag.Bool("repair", false, "re-attach orphaned aggregators around dead parents between rounds")
+		cipher      = flag.String("cipher", "aes", "link-encryption keystream suite: aes | sha256 (results are suite-independent)")
+		macScheme   = flag.String("mac", "csma", "channel-access scheme: csma | tdma")
 		compare     = flag.Bool("compare", false, "also run the TAG baseline")
 		traceFile   = flag.String("trace", "", "write a JSON-lines protocol timeline to this file")
 		traceRing   = flag.Bool("trace-ring", false, "capture the trace as a ring buffer (keep the last events instead of the first)")
@@ -64,6 +66,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Observe = *metricsFile != "" || *metricsAddr != "" || *spansFile != ""
 	cfg.Repair = *repair
+	cfg.Cipher = *cipher
+	cfg.MAC = *macScheme
 	if *churn > 0 || *kill != "" {
 		faults := &ipda.Faults{CrashRate: *churn, RecoverRate: *churnRec, Seed: *seed}
 		for _, tok := range strings.Split(*kill, ",") {

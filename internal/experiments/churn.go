@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/harness"
-	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/world"
 )
 
@@ -53,7 +51,7 @@ func Churn(o Options) (*Table, error) {
 		// iPDA, repair on/off: same deployment, same protocol seed, same
 		// fault schedule — the repair column is the only delta.
 		for _, repair := range []bool{true, false} {
-			cfg := core.DefaultConfig()
+			cfg := o.coreConfig()
 			cfg.Faults = &fcfg
 			cfg.Repair = repair
 			in, err := arena.Core("churn", net, cfg, protoSeed)
@@ -84,7 +82,7 @@ func Churn(o Options) (*Table, error) {
 		// TAG baseline: no integrity check to accept or reject, so only
 		// accuracy is reported. Driven by its own injector replaying the
 		// same schedule (TAG has no extra base stations either).
-		tg, err := arena.Tag("churn", net, tag.DefaultConfig(), tr.Rng.Split(4).Uint64())
+		tg, err := arena.Tag("churn", net, o.tagConfig(), tr.Rng.Split(4).Uint64())
 		if err != nil {
 			return err
 		}

@@ -4,13 +4,31 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/mac"
 )
 
-// renderTable runs one experiment and renders its table (text + CSV) for
-// byte-level comparison. Sizes and trials are kept small; the point of the
-// tests below is scheduling- and reuse-independence, not statistical power.
-func renderTable(t *testing.T, name string, workers, shards int, fresh bool) string {
+// renderOpts runs one experiment under explicit Options and renders its
+// table (text + CSV) for byte-level comparison.
+func renderOpts(t *testing.T, name string, o Options) string {
 	t.Helper()
+	tb, err := Run(name, o)
+	if err != nil {
+		t.Fatalf("%s %+v: %v", name, o, err)
+	}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("%s %+v: %v", name, o, err)
+	}
+	return buf.String()
+}
+
+// smallOptions are the shared shape of the determinism tests: sizes and
+// trials kept small; the point is scheduling- and reuse-independence, not
+// statistical power.
+func smallOptions(name string, workers, shards int, fresh bool) Options {
 	o := Options{Sizes: []int{200, 300}, Trials: 2, Seed: 99, Workers: workers, Shards: shards, FreshWorlds: fresh}
 	if name == "indist" {
 		o.Trials = 2000
@@ -20,16 +38,13 @@ func renderTable(t *testing.T, name string, workers, shards int, fresh bool) str
 		// intra-trial sharding actually has work to distribute.
 		o.Sizes = []int{600, 900}
 	}
-	tb, err := Run(name, o)
-	if err != nil {
-		t.Fatalf("%s workers=%d shards=%d fresh=%v: %v", name, workers, shards, fresh, err)
-	}
-	var buf bytes.Buffer
-	tb.Fprint(&buf)
-	if err := tb.WriteCSV(&buf); err != nil {
-		t.Fatalf("%s workers=%d shards=%d fresh=%v: %v", name, workers, shards, fresh, err)
-	}
-	return buf.String()
+	return o
+}
+
+// renderTable runs one experiment with the small defaults.
+func renderTable(t *testing.T, name string, workers, shards int, fresh bool) string {
+	t.Helper()
+	return renderOpts(t, name, smallOptions(name, workers, shards, fresh))
 }
 
 // TestEveryExperimentDeterministicAcrossWorkers is the cross-cutting
@@ -73,6 +88,60 @@ func TestEveryExperimentDeterministicAcrossShards(t *testing.T) {
 			}
 			if got := renderTable(t, name, 2, 4, true); got != base {
 				t.Errorf("table differs between pooled Shards=1 and fresh Shards=4:\n--- pooled ---\n%s--- fresh ---\n%s", base, got)
+			}
+		})
+	}
+}
+
+// TestEveryExperimentSuiteIndependent pins the tentpole's compatibility
+// claim: the cipher suite only changes ciphertext and tag bytes, which no
+// experiment result consumes, so SHA-256 compat mode must produce tables
+// byte-identical to the AES-CTR default — which is in turn what keeps
+// every pre-AES golden valid without re-blessing.
+func TestEveryExperimentSuiteIndependent(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			aes := renderTable(t, name, 2, 0, false)
+			o := smallOptions(name, 2, 0, false)
+			o.Suite = linksec.SuiteSHA256
+			sha := renderOpts(t, name, o)
+			if aes != sha {
+				t.Errorf("table differs between cipher suites:\n--- aes ---\n%s--- sha256 ---\n%s", aes, sha)
+			}
+		})
+	}
+}
+
+// TestTDMADeterministic extends the worker- and shard-independence
+// guarantees to the slotted MAC. TDMA legitimately changes results versus
+// CSMA (it reschedules every transmission), so there is no cross-scheme
+// comparison — but equal Options must still give byte-identical tables at
+// any worker count and any shard count, and the slot assignment must not
+// perturb the pooled-arena contract.
+func TestTDMADeterministic(t *testing.T) {
+	for _, name := range []string{"fig6", "fig7", "mtrees", "scale"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opt := func(workers, shards int, fresh bool) Options {
+				o := smallOptions(name, workers, shards, fresh)
+				o.MAC = mac.SchemeTDMA
+				return o
+			}
+			base := renderOpts(t, name, opt(1, 1, false))
+			if got := renderOpts(t, name, opt(8, 1, false)); got != base {
+				t.Errorf("TDMA table differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", base, got)
+			}
+			for _, shards := range []int{2, 4} {
+				if got := renderOpts(t, name, opt(1, shards, false)); got != base {
+					t.Errorf("TDMA table differs between Shards=1 and Shards=%d:\n--- shards=1 ---\n%s--- shards=%d ---\n%s",
+						shards, base, shards, got)
+				}
+			}
+			if got := renderOpts(t, name, opt(1, 1, true)); got != base {
+				t.Errorf("TDMA table differs between pooled and fresh worlds:\n--- pooled ---\n%s--- fresh ---\n%s", base, got)
 			}
 		})
 	}

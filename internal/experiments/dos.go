@@ -34,7 +34,7 @@ func DoS(o Options) (*Table, error) {
 		// Probe rounds use their instance one at a time, so all of a
 		// trial's probes share one arena slot.
 		factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
-			cfg := core.DefaultConfig()
+			cfg := o.coreConfig()
 			cfg.Tree.Adaptive = false
 			cfg.Disabled = disabled
 			return arena.Core("dos", net, cfg, seed)

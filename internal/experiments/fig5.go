@@ -5,7 +5,6 @@ import (
 
 	"github.com/ipda-sim/ipda/internal/analysis"
 	"github.com/ipda-sim/ipda/internal/attack"
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -61,7 +60,7 @@ func Fig5(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		in, err := arena.Core("fig5", net, core.DefaultConfig(), tr.Rng.Uint64())
+		in, err := arena.Core("fig5", net, o.coreConfig(), tr.Rng.Uint64())
 		if err != nil {
 			return err
 		}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/world"
@@ -42,7 +41,7 @@ func Fig6(o Options) (*Table, error) {
 		// The three replays run strictly one after another, so a single
 		// arena slot serves them all.
 		run := func(l int, window float64) (red, blue float64, err error) {
-			cfg := core.DefaultConfig()
+			cfg := o.coreConfig()
 			cfg.Slices = l
 			if window > 0 {
 				cfg.SliceWindow = eventsim.Time(window)

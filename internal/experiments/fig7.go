@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"github.com/ipda-sim/ipda/internal/analysis"
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/packet"
-	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/world"
 )
 
@@ -54,7 +52,7 @@ func Fig7(o Options) (*Table, error) {
 			return err
 		}
 		// TAG.
-		tg, err := arena.Tag("fig7", net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		tg, err := arena.Tag("fig7", net, o.tagConfig(), tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -66,7 +64,7 @@ func Fig7(o Options) (*Table, error) {
 		tagFrames.Add(tr, out.dataFrames)
 		// iPDA l=1 and l=2.
 		for _, l := range []int{1, 2} {
-			cfg := core.DefaultConfig()
+			cfg := o.coreConfig()
 			cfg.Slices = l
 			slot := "fig7/l1"
 			if l == 2 {

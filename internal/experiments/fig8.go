@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
-	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/world"
 )
 
@@ -43,7 +41,7 @@ func Fig8(o Options) (*Table, error) {
 		}
 		truth := float64(n)
 		for _, l := range []int{1, 2} {
-			cfg := core.DefaultConfig()
+			cfg := o.coreConfig()
 			cfg.Slices = l
 			// One slot serves both l values: each instance's metrics are
 			// read before the next l resets the slot.
@@ -68,7 +66,7 @@ func Fig8(o Options) (*Table, error) {
 				acc2.Add(tr, acc)
 			}
 		}
-		tg, err := arena.Tag("fig8", net, tag.DefaultConfig(), tr.Rng.Split(7).Uint64())
+		tg, err := arena.Tag("fig8", net, o.tagConfig(), tr.Rng.Split(7).Uint64())
 		if err != nil {
 			return err
 		}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"github.com/ipda-sim/ipda/internal/attack"
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/world"
@@ -35,7 +34,7 @@ func LAblation(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		cfg := core.DefaultConfig()
+		cfg := o.coreConfig()
 		cfg.Slices = l
 		in, err := world.FromTrial(tr).Core("lablation", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {

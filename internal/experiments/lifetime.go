@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/harness"
-	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/world"
 )
 
@@ -43,7 +41,7 @@ func Lifetime(o Options) (*Table, error) {
 
 		// Meters attach after construction: Reset rewires the medium, so a
 		// reused instance starts each trial meterless either way.
-		tg, err := arena.Tag("lifetime", net, tag.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		tg, err := arena.Tag("lifetime", net, o.tagConfig(), tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -60,7 +58,7 @@ func Lifetime(o Options) (*Table, error) {
 		}
 		tagMeter.ChargeIdle(float64(tg.Sim.Now() - tagStart))
 
-		in, err := arena.Core("lifetime", net, core.DefaultConfig(), tr.Rng.Split(3).Uint64())
+		in, err := arena.Core("lifetime", net, o.coreConfig(), tr.Rng.Split(3).Uint64())
 		if err != nil {
 			return err
 		}

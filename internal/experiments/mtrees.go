@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"github.com/ipda-sim/ipda/internal/harness"
-	"github.com/ipda-sim/ipda/internal/mtree"
 	"github.com/ipda-sim/ipda/internal/topology"
 	"github.com/ipda-sim/ipda/internal/world"
 )
@@ -41,7 +40,7 @@ func MTrees(o Options) (*Table, error) {
 		// The three m values run strictly one after another, so they can
 		// share a single arena slot.
 		for mi, m := range []int{2, 3, 4} {
-			cfg := mtree.DefaultConfig(m)
+			cfg := o.mtreeConfig(m)
 			if m > cfg.K {
 				cfg.K = m
 			}

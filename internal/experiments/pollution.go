@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/tree"
 	"github.com/ipda-sim/ipda/internal/world"
@@ -31,7 +30,7 @@ func Pollution(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		in, err := world.FromTrial(tr).Core("pollution", net, core.DefaultConfig(), tr.Rng.Split(2).Uint64())
+		in, err := world.FromTrial(tr).Core("pollution", net, o.coreConfig(), tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
@@ -86,7 +85,7 @@ func ThSweep(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		cfg := core.DefaultConfig()
+		cfg := o.coreConfig()
 		cfg.Threshold = ths[tr.Point]
 		cfg.SliceWindow = 0.1 // congested: honest losses happen
 		// Clean round.

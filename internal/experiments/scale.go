@@ -3,7 +3,6 @@ package experiments
 import (
 	"math"
 
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/shard"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -59,7 +58,7 @@ func Scale(o Options) (*Table, error) {
 			return err
 		}
 		plan := shard.NewPlan(net, shard.DefaultRegions(n))
-		out, err := shard.RunHier(plan, core.DefaultConfig(), tr.Rng.Split(2), shards, arena)
+		out, err := shard.RunHier(plan, o.coreConfig(), tr.Rng.Split(2), shards, arena)
 		if err != nil {
 			return err
 		}

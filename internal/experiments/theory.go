@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/ipda-sim/ipda/internal/analysis"
-	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/harness"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -44,7 +43,7 @@ func CoverageBound(o Options) (*Table, error) {
 		for i := 1; i < net.N(); i++ {
 			degrees = append(degrees, net.Degree(topology.NodeID(i)))
 		}
-		cfg := core.DefaultConfig()
+		cfg := o.coreConfig()
 		cfg.Tree.Adaptive = false // pr = pb = 0.5, the analysis' model
 		in, err := world.FromTrial(tr).Core("coverage", net, cfg, tr.Rng.Split(2).Uint64())
 		if err != nil {

@@ -2,6 +2,7 @@ package linksec
 
 import (
 	"bytes"
+	"crypto/cipher"
 	"encoding/binary"
 	"math"
 	"testing"
@@ -361,7 +362,7 @@ func TestCipherMatchesPackageSeal(t *testing.T) {
 	// The reusable Cipher must be byte-identical to the package-level
 	// Seal/Open so migrating a protocol onto it cannot change any table.
 	key, _ := NewPairwise(7).SharedKey(4, 5)
-	c := NewCipher(key)
+	c := NewCipher(SuiteSHA256, key)
 	if err := quick.Check(func(nonce uint32, value int64) bool {
 		want := Seal(key, nonce, value)
 		got := c.Seal(nonce, value)
@@ -380,58 +381,66 @@ func TestCipherMatchesPackageSeal(t *testing.T) {
 }
 
 func TestEncryptToDecryptTo(t *testing.T) {
-	key, _ := NewPairwise(9).SharedKey(1, 2)
-	c := NewCipher(key)
-	buf := c.EncryptTo(nil, 77, -123456)
-	if len(buf) != SealedSize {
-		t.Fatalf("EncryptTo appended %d bytes, want %d", len(buf), SealedSize)
-	}
-	got, err := c.DecryptTo(buf)
-	if err != nil || got != -123456 {
-		t.Fatalf("DecryptTo = %d, %v", got, err)
-	}
-	// The wire form matches the Sealed struct layout.
-	s := c.Seal(77, -123456)
-	var want []byte
-	want = append(want, s.Cipher[:]...)
-	want = binary.BigEndian.AppendUint32(want, s.Nonce)
-	want = binary.BigEndian.AppendUint32(want, s.Tag)
-	if !bytes.Equal(buf, want) {
-		t.Fatalf("wire form %x, want %x", buf, want)
-	}
-	// Tampering any byte must fail authentication.
-	for i := 0; i < SealedSize; i++ {
-		tampered := append([]byte(nil), buf...)
-		tampered[i] ^= 0x40
-		if _, err := c.DecryptTo(tampered); err == nil {
-			t.Fatalf("tampered byte %d accepted", i)
-		}
-	}
-	if _, err := c.DecryptTo(buf[:SealedSize-1]); err != ErrShort {
-		t.Fatalf("short buffer error = %v, want ErrShort", err)
+	for _, suite := range []Suite{SuiteAESCTR, SuiteSHA256} {
+		t.Run(suite.String(), func(t *testing.T) {
+			key, _ := NewPairwise(9).SharedKey(1, 2)
+			c := NewCipher(suite, key)
+			buf := c.EncryptTo(nil, 77, -123456)
+			if len(buf) != SealedSize {
+				t.Fatalf("EncryptTo appended %d bytes, want %d", len(buf), SealedSize)
+			}
+			got, err := c.DecryptTo(buf)
+			if err != nil || got != -123456 {
+				t.Fatalf("DecryptTo = %d, %v", got, err)
+			}
+			// The wire form matches the Sealed struct layout.
+			s := c.Seal(77, -123456)
+			var want []byte
+			want = append(want, s.Cipher[:]...)
+			want = binary.BigEndian.AppendUint32(want, s.Nonce)
+			want = binary.BigEndian.AppendUint32(want, s.Tag)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("wire form %x, want %x", buf, want)
+			}
+			// Tampering any byte must fail authentication.
+			for i := 0; i < SealedSize; i++ {
+				tampered := append([]byte(nil), buf...)
+				tampered[i] ^= 0x40
+				if _, err := c.DecryptTo(tampered); err == nil {
+					t.Fatalf("tampered byte %d accepted", i)
+				}
+			}
+			if _, err := c.DecryptTo(buf[:SealedSize-1]); err != ErrShort {
+				t.Fatalf("short buffer error = %v, want ErrShort", err)
+			}
+		})
 	}
 }
 
 func TestEncryptToAllocFree(t *testing.T) {
-	key, _ := NewPairwise(11).SharedKey(1, 2)
-	c := NewCipher(key)
-	buf := make([]byte, 0, SealedSize)
-	buf = c.EncryptTo(buf, 1, 1) // warm
-	nonce := uint32(0)
-	allocs := testing.AllocsPerRun(200, func() {
-		nonce++
-		buf = c.EncryptTo(buf[:0], nonce, int64(nonce)*3)
-	})
-	if allocs != 0 {
-		t.Fatalf("EncryptTo allocated %v per op, want 0", allocs)
-	}
-	allocs = testing.AllocsPerRun(200, func() {
-		if _, err := c.DecryptTo(buf); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("DecryptTo allocated %v per op, want 0", allocs)
+	for _, suite := range []Suite{SuiteAESCTR, SuiteSHA256} {
+		t.Run(suite.String(), func(t *testing.T) {
+			key, _ := NewPairwise(11).SharedKey(1, 2)
+			c := NewCipher(suite, key)
+			buf := make([]byte, 0, SealedSize)
+			buf = c.EncryptTo(buf, 1, 1) // warm
+			nonce := uint32(0)
+			allocs := testing.AllocsPerRun(200, func() {
+				nonce++
+				buf = c.EncryptTo(buf[:0], nonce, int64(nonce)*3)
+			})
+			if allocs != 0 {
+				t.Fatalf("EncryptTo allocated %v per op, want 0", allocs)
+			}
+			allocs = testing.AllocsPerRun(200, func() {
+				if _, err := c.DecryptTo(buf); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("DecryptTo allocated %v per op, want 0", allocs)
+			}
+		})
 	}
 }
 
@@ -446,7 +455,7 @@ func (s noKeyScheme) SharedKey(a, b topology.NodeID) (Key, bool) {
 }
 
 func TestCipherCache(t *testing.T) {
-	cc := NewCipherCache(noKeyScheme{NewPairwise(5)})
+	cc := NewCipherCache(noKeyScheme{NewPairwise(5)}, SuiteAESCTR)
 	c1, ok := cc.Link(2, 4)
 	if !ok || c1 == nil {
 		t.Fatal("keyed pair got no cipher")
@@ -470,15 +479,229 @@ func TestCipherCache(t *testing.T) {
 	}
 }
 
-// BenchmarkPRFKeystream measures one seal+open cycle (four PRF keystream
-// blocks) on a reusable Cipher. Pre-PR baseline (package-level Seal/Open,
-// fresh hasher per PRF block): 933.4 ns/op, 0 B/op, 0 allocs/op.
+// countingBlock wraps a cipher.Block and counts Encrypt calls, so tests
+// can observe exactly when a keystream block was recomputed vs served from
+// the cache.
+type countingBlock struct {
+	cipher.Block
+	n *int
+}
+
+func (b countingBlock) Encrypt(dst, src []byte) {
+	*b.n++
+	b.Block.Encrypt(dst, src)
+}
+
+func TestSuitesRoundTripAndRejectTampering(t *testing.T) {
+	// Cross-suite vectors: both suites must round-trip every value and
+	// reject any single-field tamper; their outputs must differ (i.e. the
+	// suites are really distinct constructions over the same wire format).
+	key, _ := NewPairwise(21).SharedKey(3, 8)
+	aes := NewCipher(SuiteAESCTR, key)
+	sha := NewCipher(SuiteSHA256, key)
+	if err := quick.Check(func(nonce uint32, value int64) bool {
+		sa := aes.Seal(nonce, value)
+		ss := sha.Seal(nonce, value)
+		va, ea := aes.Open(sa)
+		vs, es := sha.Open(ss)
+		if ea != nil || es != nil || va != value || vs != value {
+			return false
+		}
+		// Cross-opening the other suite's sealed share must fail auth.
+		if _, err := aes.Open(ss); err != ErrAuth {
+			return false
+		}
+		if _, err := sha.Open(sa); err != ErrAuth {
+			return false
+		}
+		// Tampered ciphertext, nonce, or tag must fail on both.
+		for _, c := range []*Cipher{aes, sha} {
+			s := c.Seal(nonce, value)
+			bad := s
+			bad.Cipher[3] ^= 1
+			if _, err := c.Open(bad); err != ErrAuth {
+				return false
+			}
+			bad = s
+			bad.Nonce ^= 4
+			if _, err := c.Open(bad); err != ErrAuth {
+				return false
+			}
+			bad = s
+			bad.Tag ^= 0x8000
+			if _, err := c.Open(bad); err != ErrAuth {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenReusesSealKeystreamBlock(t *testing.T) {
+	// A Seal immediately followed by the matching Open (the shared-cache
+	// common case, and the ARQ retransmit pattern) must not re-encrypt the
+	// CTR block: only the tag block costs an AES call.
+	key, _ := NewPairwise(13).SharedKey(1, 2)
+	c := NewCipher(SuiteAESCTR, key)
+	var n int
+	c.block = countingBlock{c.block, &n}
+	s := c.Seal(0x1234, -99)
+	if n != 2 { // one CTR block + one tag block
+		t.Fatalf("Seal cost %d AES calls, want 2", n)
+	}
+	n = 0
+	if v, err := c.Open(s); err != nil || v != -99 {
+		t.Fatalf("Open = %d, %v", v, err)
+	}
+	if n != 1 { // tag only; keystream served from the cache
+		t.Fatalf("Open cost %d AES calls, want 1 (cached keystream)", n)
+	}
+	// The paired nonce (same CTR block, other half) is also free.
+	n = 0
+	c.Seal(0x1235, 7)
+	if n != 1 {
+		t.Fatalf("paired-nonce Seal cost %d AES calls, want 1", n)
+	}
+}
+
+func TestSHA256OpenMemoizesSealKeystream(t *testing.T) {
+	key, _ := NewPairwise(13).SharedKey(3, 4)
+	c := NewCipher(SuiteSHA256, key)
+	s := c.Seal(42, 1000)
+	if !c.sha.memoOK || c.sha.memoNonce != 42 {
+		t.Fatal("Seal did not memoize its keystream")
+	}
+	if v, err := c.Open(s); err != nil || v != 1000 {
+		t.Fatalf("Open = %d, %v", v, err)
+	}
+	// The memo must be bound to the key: rekeying invalidates it.
+	k2, _ := NewPairwise(14).SharedKey(3, 4)
+	c.rekey(SuiteSHA256, k2)
+	if c.sha.memoOK {
+		t.Fatal("rekey kept a stale keystream memo")
+	}
+}
+
+func TestSealBatchMatchesSeal(t *testing.T) {
+	for _, suite := range []Suite{SuiteAESCTR, SuiteSHA256} {
+		t.Run(suite.String(), func(t *testing.T) {
+			scheme := noKeyScheme{NewPairwise(31)}
+			cc := NewCipherCache(scheme, suite)
+			ref := NewCipherCache(scheme, suite)
+			var reqs []SealReq
+			for i := 0; i < 40; i++ {
+				reqs = append(reqs, SealReq{
+					Src:   topology.NodeID(i % 5 * 2), // even = keyed
+					Dst:   topology.NodeID(i%3*2 + 6),
+					Nonce: uint32(i),
+					Value: int64(i) * 1001,
+				})
+			}
+			// A keyless pair must come back OK=false, not crash.
+			reqs = append(reqs, SealReq{Src: 1, Dst: 2, Nonce: 7, Value: 7})
+			cc.SealBatch(reqs)
+			opens := make([]OpenReq, 0, len(reqs))
+			for i := range reqs {
+				r := &reqs[i]
+				if r.Src == r.Dst {
+					continue
+				}
+				c, ok := ref.Link(r.Src, r.Dst)
+				if !ok {
+					if r.OK {
+						t.Fatalf("req %d: sealed without a key", i)
+					}
+					continue
+				}
+				if !r.OK {
+					t.Fatalf("req %d: OK=false for keyed pair", i)
+				}
+				if want := c.Seal(r.Nonce, r.Value); r.Sealed != want {
+					t.Fatalf("req %d: batch sealed %+v, want %+v", i, r.Sealed, want)
+				}
+				opens = append(opens, OpenReq{Src: r.Src, Dst: r.Dst, Sealed: r.Sealed})
+			}
+			opens = append(opens, OpenReq{Src: 1, Dst: 2})
+			cc.OpenBatch(opens)
+			for i := range opens {
+				r := &opens[i]
+				if r.Src == 1 && r.Dst == 2 {
+					if r.Err != ErrNoKey {
+						t.Fatalf("keyless open err = %v, want ErrNoKey", r.Err)
+					}
+					continue
+				}
+				if r.Err != nil {
+					t.Fatalf("open %d: %v", i, r.Err)
+				}
+			}
+		})
+	}
+}
+
+func TestCipherCacheResetRetainsSchedules(t *testing.T) {
+	// Arena reuse: Reset to the same scheme and suite must not rebuild AES
+	// round-key schedules (or anything else) — steady-state re-deployment
+	// performs zero allocations and keeps the same cipher instances.
+	scheme := NewPairwise(77)
+	cc := NewCipherCache(scheme, SuiteAESCTR)
+	c1, _ := cc.Link(1, 2)
+	b1 := c1.block
+	s1 := c1.Seal(9, 42)
+	allocs := testing.AllocsPerRun(100, func() {
+		cc.Reset(scheme, SuiteAESCTR)
+		if c, ok := cc.Link(1, 2); !ok || c != c1 {
+			t.Fatal("Reset dropped the pooled cipher")
+		}
+		if _, ok := cc.Link(2, 3); !ok {
+			t.Fatal("second link missing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Link allocated %v per run, want 0", allocs)
+	}
+	if c1.block != b1 {
+		t.Fatal("Reset rebuilt the AES round-key schedule for an unchanged key")
+	}
+	if got := c1.Seal(9, 42); got != s1 {
+		t.Fatalf("post-Reset seal %+v, want %+v", got, s1)
+	}
+	// Suite or scheme changes must rebind: same instance, new behavior.
+	cc.Reset(NewPairwise(78), SuiteAESCTR)
+	c2, _ := cc.Link(1, 2)
+	if c2 != c1 {
+		t.Fatal("rekey should reuse the resident cipher instance")
+	}
+	want, _ := NewPairwise(78).SharedKey(1, 2)
+	if c2.Key() != want {
+		t.Fatal("stale key after scheme change")
+	}
+	if got := c2.Seal(9, 42); got == s1 {
+		t.Fatal("seal unchanged after rekey")
+	}
+	cc.Reset(NewPairwise(78), SuiteSHA256)
+	c3, _ := cc.Link(1, 2)
+	if c3.Suite() != SuiteSHA256 {
+		t.Fatal("suite change not applied")
+	}
+	if got := Seal(want, 9, 42); c3.Seal(9, 42) != got {
+		t.Fatal("SHA-256 mode after suite switch is not byte-identical to package Seal")
+	}
+}
+
+// BenchmarkPRFKeystream measures one seal+open cycle on a reusable Cipher
+// under the default AES-CTR suite (incrementing nonces, so each pair of
+// seals shares one CTR block and each open hits the cache). History:
+// 933.4 ns/op (package-level Seal/Open), 408.0 ns/op (reusable SHA-256
+// Cipher, kept below as BenchmarkPRFKeystreamSHA256).
 func BenchmarkPRFKeystream(b *testing.B) {
 	var key Key
 	for i := range key {
 		key[i] = byte(i)
 	}
-	c := NewCipher(key)
+	c := NewCipher(SuiteAESCTR, key)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -486,5 +709,48 @@ func BenchmarkPRFKeystream(b *testing.B) {
 		if _, err := c.Open(sealed); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPRFKeystreamSHA256 is the same cycle on the SHA-256 compat
+// suite — the pre-PR hot path, kept for the perf trajectory.
+func BenchmarkPRFKeystreamSHA256(b *testing.B) {
+	var key Key
+	for i := range key {
+		key[i] = byte(i)
+	}
+	c := NewCipher(SuiteSHA256, key)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed := c.Seal(uint32(i), int64(i)*3)
+		if _, err := c.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSealBatch measures the per-seal cost of the batch API on a
+// warmed cache: 8 slices across 4 links per op, the shape of one node's
+// Phase II round. ns/op is the whole batch; divide by 8 for per-seal.
+func BenchmarkSealBatch(b *testing.B) {
+	cc := NewCipherCache(NewPairwise(17), SuiteAESCTR)
+	reqs := make([]SealReq, 8)
+	for i := range reqs {
+		reqs[i] = SealReq{
+			Src:   topology.NodeID(1 + i/4),
+			Dst:   topology.NodeID(3 + i%2),
+			Nonce: uint32(i),
+			Value: int64(i) * 17,
+		}
+	}
+	cc.SealBatch(reqs) // warm link entries and key schedules
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range reqs {
+			reqs[j].Nonce = uint32(i*8 + j)
+		}
+		cc.SealBatch(reqs)
 	}
 }

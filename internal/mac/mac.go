@@ -30,9 +30,10 @@ import (
 // directly keeps the receive path allocation-free.
 type Handler func(self topology.NodeID, p *packet.Packet)
 
-// Config are the CSMA/ARQ parameters. The defaults fit the paper's 1 Mbps
-// channel with frames of a few tens of bytes.
+// Config are the channel-access parameters. The defaults fit the paper's
+// 1 Mbps channel with frames of a few tens of bytes.
 type Config struct {
+	Scheme      Scheme        // access discipline; zero value = CSMA
 	SlotTime    eventsim.Time // backoff quantum, seconds
 	MinWindow   int           // initial contention window, slots
 	MaxWindow   int           // contention window cap, slots
@@ -132,6 +133,12 @@ type MAC struct {
 	ackDst        []int32
 	ackSeq        []uint16
 	ackArmed      []bool
+
+	// TDMA state (SchemeTDMA only): the two-hop coloring, the frame
+	// length in slots, and the slot duration. See tdma.go.
+	slot     []int32
+	numSlots int
+	slotLen  eventsim.Time
 }
 
 // New creates a MAC over medium for a network of n nodes and installs
@@ -203,6 +210,9 @@ func (m *MAC) Reset(n int, cfg Config, rand *rng.Stream) {
 	}
 	for i := 0; i < n; i++ {
 		m.medium.SetReceiver(topology.NodeID(i), m.recvFn)
+	}
+	if cfg.Scheme == SchemeTDMA {
+		m.resetTDMA()
 	}
 }
 
@@ -370,18 +380,25 @@ func (m *MAC) Send(src topology.NodeID, pkt *packet.Packet) {
 	}
 }
 
-// scheduleAttempt arms the next carrier-sense attempt for src's queue head
-// after a random backoff drawn from the contention window 2^window·MinWindow.
-// sense counts busy senses of the current transmission attempt (the drop
-// budget is MaxAttempts senses per transmission); window is the binary
-// exponential backoff exponent, which ARQ retransmissions start elevated
-// without consuming sense budget.
+// scheduleAttempt arms the next carrier-sense attempt for src's queue head.
+// Under CSMA the delay is a random backoff drawn from the contention window
+// 2^window·MinWindow; under TDMA it is the node's next owned slot boundary
+// and consumes no randomness. sense counts busy senses of the current
+// transmission attempt (the drop budget is MaxAttempts senses per
+// transmission); window is the binary exponential backoff exponent, which
+// ARQ retransmissions start elevated without consuming sense budget (and
+// which TDMA ignores — a retransmission simply waits for the next slot).
 func (m *MAC) scheduleAttempt(src topology.NodeID, sense, window int) {
-	w := m.cfg.MinWindow << uint(window)
-	if w > m.cfg.MaxWindow || w <= 0 {
-		w = m.cfg.MaxWindow
+	var delay eventsim.Time
+	if m.cfg.Scheme == SchemeTDMA {
+		delay = m.tdmaDelay(src)
+	} else {
+		w := m.cfg.MinWindow << uint(window)
+		if w > m.cfg.MaxWindow || w <= 0 {
+			w = m.cfg.MaxWindow
+		}
+		delay = eventsim.Time(m.rand.Intn(w)+1) * m.cfg.SlotTime
 	}
-	delay := eventsim.Time(m.rand.Intn(w)+1) * m.cfg.SlotTime
 	if m.attemptArmed[src] {
 		// Invariant breach fallback: never clobber a pending attempt's slot.
 		m.sim.After(delay, func() { m.attempt(src, sense, window) })

@@ -1,0 +1,184 @@
+// Slotted TDMA: a contention-free alternative to CSMA for the dense-field
+// regime where exponential backoff dominates round latency.
+//
+// Slots are assigned by greedy two-hop graph coloring: no node shares a
+// slot with any node at radio distance one OR two. Two nodes in the same
+// slot are therefore more than two hops apart, so no receiver is in range
+// of both — every transmission that starts at its owner's slot boundary
+// and fits within the slot is collision-free, broadcast storms included.
+// The ACK a unicast receiver returns one SIFS after the data frame falls
+// inside the sender's slot, which is sized to cover a maximum data frame,
+// the SIFS, the ACK, and the sender's ARQ timeout guard.
+//
+// The assignment is a pure function of the network topology — no rng, no
+// tree state — so it is byte-identical across trial workers and shard
+// counts, and every coupled-mode shard domain (which sees the full global
+// net) computes the same table independently.
+package mac
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ipda-sim/ipda/internal/eventsim"
+	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/topology"
+)
+
+// Scheme selects the channel-access discipline of a MAC instance.
+type Scheme uint8
+
+const (
+	// SchemeCSMA is nonpersistent CSMA with binary exponential backoff —
+	// the paper's contention model and the zero-value default.
+	SchemeCSMA Scheme = iota
+	// SchemeTDMA is contention-free slotted access from a deterministic
+	// two-hop coloring of the network.
+	SchemeTDMA
+)
+
+// String returns the flag spelling of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeCSMA:
+		return "csma"
+	case SchemeTDMA:
+		return "tdma"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme parses a -mac flag value.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "csma":
+		return SchemeCSMA, nil
+	case "tdma", "slotted":
+		return SchemeTDMA, nil
+	default:
+		return 0, fmt.Errorf("mac: unknown scheme %q (want csma or tdma)", name)
+	}
+}
+
+// AssignSlots two-hop-colors net: the returned table maps each node to a
+// slot such that no two nodes within two hops of each other share one.
+// Nodes are colored greedily in (hop distance from node 0, id) order —
+// BFS order keeps neighborhoods compact, so the greedy choice stays near
+// the two-hop-degree lower bound — with unreachable nodes last by id.
+// dst is reused when it has capacity.
+func AssignSlots(net *topology.Network, dst []int32) []int32 {
+	n := net.N()
+	dst = resizeI32(dst, n)
+	for i := range dst {
+		dst[i] = -1
+	}
+	hops := net.HopDistances(0)
+	order := make([]topology.NodeID, n)
+	for i := range order {
+		order[i] = topology.NodeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := hops[order[a]], hops[order[b]]
+		// Unreachable nodes (hop < 0) sort after every reachable one.
+		if (ha < 0) != (hb < 0) {
+			return hb < 0
+		}
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+	used := make([]bool, n+1)
+	for _, id := range order {
+		maxSeen := int32(-1)
+		mark := func(nb topology.NodeID) {
+			if c := dst[nb]; c >= 0 {
+				used[c] = true
+				if c > maxSeen {
+					maxSeen = c
+				}
+			}
+		}
+		for _, nb := range net.Neighbors(id) {
+			mark(nb)
+			for _, nb2 := range net.Neighbors(nb) {
+				if nb2 != id {
+					mark(nb2)
+				}
+			}
+		}
+		slot := int32(0)
+		for used[slot] {
+			slot++
+		}
+		dst[id] = slot
+		for c := int32(0); c <= maxSeen; c++ {
+			used[c] = false
+		}
+		if used[slot] { // slot > maxSeen: clear the probe too
+			used[slot] = false
+		}
+	}
+	return dst
+}
+
+// tdmaSlotLen returns the slot duration: the largest data frame's airtime,
+// the SIFS, the ACK airtime, the sender's 4-slot ARQ guard, and one extra
+// SlotTime of margin — so a transmission started at its slot boundary,
+// its ACK, and its timeout all resolve inside the slot.
+func tdmaSlotLen(m *MAC) eventsim.Time {
+	maxSize := 0
+	for _, kind := range []packet.Kind{
+		packet.KindHello, packet.KindSlice, packet.KindAggregate, packet.KindQuery,
+	} {
+		if s := (&packet.Packet{Header: packet.Header{Kind: kind}}).Size(); s > maxSize {
+			maxSize = s
+		}
+	}
+	ackSize := (&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size()
+	return m.medium.Duration(maxSize) + m.cfg.SIFS + m.medium.Duration(ackSize) +
+		4*m.cfg.SlotTime + m.cfg.SlotTime
+}
+
+// resetTDMA derives the slot table for the medium's current network. The
+// medium must already be Reset to the run's net (protocol stacks reset
+// radio before MAC, and New sees the net it was built over).
+func (m *MAC) resetTDMA() {
+	m.slot = AssignSlots(m.medium.Net(), m.slot)
+	m.numSlots = 0
+	for _, s := range m.slot {
+		if int(s)+1 > m.numSlots {
+			m.numSlots = int(s) + 1
+		}
+	}
+	m.slotLen = tdmaSlotLen(m)
+}
+
+// Slot returns the TDMA slot of node id (meaningful only under
+// SchemeTDMA).
+func (m *MAC) Slot(id topology.NodeID) int32 { return m.slot[id] }
+
+// NumSlots returns the TDMA frame length in slots.
+func (m *MAC) NumSlots() int { return m.numSlots }
+
+// SlotLen returns the TDMA slot duration.
+func (m *MAC) SlotLen() eventsim.Time { return m.slotLen }
+
+// tdmaDelay returns the time from now until src's next owned slot
+// boundary, always strictly positive so same-instant rescheduling cannot
+// spin. No randomness: TDMA scheduling is a pure function of the clock.
+func (m *MAC) tdmaDelay(src topology.NodeID) eventsim.Time {
+	period := eventsim.Time(m.numSlots) * m.slotLen
+	base := eventsim.Time(m.slot[src]) * m.slotLen
+	now := m.sim.Now()
+	if now > base {
+		k := math.Ceil(float64((now - base) / period))
+		base += eventsim.Time(k) * period
+	}
+	for base <= now {
+		base += period
+	}
+	return base - now
+}

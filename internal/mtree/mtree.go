@@ -56,6 +56,12 @@ type Config struct {
 	AggSlot       eventsim.Time
 	// ShareSpread bounds slice magnitudes (0 = full ring).
 	ShareSpread int64
+	// Suite selects the keystream/tag primitive slices are sealed with
+	// (zero value = batched AES-CTR; see linksec.Suite).
+	Suite linksec.Suite
+	// MAC configures the link layer; the zero value selects
+	// mac.DefaultConfig(), so existing callers are unchanged.
+	MAC mac.Config
 	// Obs is the optional instrumentation sink (see core.Config.Obs).
 	Obs *obs.Sink
 }
@@ -129,6 +135,11 @@ type Instance struct {
 	bsSum      []int64
 	bsCount    []uint32
 	dispatchFn mac.Handler
+	// sealReqs stages one (node, tree)'s remote shares for a SealBatch
+	// call. Batching is per tree, not per node: the rng draws for tree
+	// t+1's target choice happen after tree t's send offsets, so a wider
+	// batch would reorder rand consumption and change results.
+	sealReqs []linksec.SealReq
 }
 
 // treeColor maps tree index 0..m-1 onto the packet Color byte (1..m).
@@ -160,10 +171,14 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 		in.sim.Reset()
 		in.medium.Reset(net)
 	}
+	macCfg := cfg.MAC
+	if macCfg == (mac.Config{}) {
+		macCfg = mac.DefaultConfig()
+	}
 	if in.mac == nil {
-		in.mac = mac.New(in.sim, in.medium, net.N(), mac.DefaultConfig(), root.Split(1))
+		in.mac = mac.New(in.sim, in.medium, net.N(), macCfg, root.Split(1))
 	} else {
-		in.mac.Reset(net.N(), mac.DefaultConfig(), root.Split(1))
+		in.mac.Reset(net.N(), macCfg, root.Split(1))
 	}
 	in.Net = net
 	in.Cfg = cfg
@@ -176,9 +191,9 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 		clear(in.polluters)
 	}
 	if in.ciphers == nil {
-		in.ciphers = linksec.NewCipherCache(in.keys)
+		in.ciphers = linksec.NewCipherCache(in.keys, cfg.Suite)
 	} else {
-		in.ciphers.Reset(in.keys)
+		in.ciphers.Reset(in.keys, cfg.Suite)
 	}
 	if cfg.Obs != nil {
 		in.medium.SetObs(cfg.Obs)
@@ -519,21 +534,32 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 		for t := 0; t < m; t++ {
 			targets := in.chooseTargets(id, t)
 			shares := in.split(readings[i])
+			in.sealReqs = in.sealReqs[:0]
 			for idx, dst := range targets {
 				if dst == id {
 					in.assembled[id][t].Add(id, shares[idx])
 					continue
 				}
-				cipher, ok := in.ciphers.Link(id, dst)
-				if !ok {
+				if !in.ciphers.HasKey(id, dst) {
 					continue
 				}
-				sealed := cipher.Seal(nonce(round, id, dst, t*in.Cfg.Slices+idx), shares[idx])
+				in.sealReqs = append(in.sealReqs, linksec.SealReq{
+					Src: id, Dst: dst,
+					Nonce: nonce(round, id, dst, t*in.Cfg.Slices+idx),
+					Value: shares[idx],
+				})
+			}
+			in.ciphers.SealBatch(in.sealReqs)
+			for ri := range in.sealReqs {
+				r := &in.sealReqs[ri]
+				if !r.OK {
+					continue
+				}
 				p := &packet.Packet{
-					Header: packet.Header{Kind: packet.KindSlice, Src: int32(id), Dst: int32(dst), Round: round},
-					Cipher: sealed.Cipher,
-					Nonce:  sealed.Nonce,
-					Tag:    sealed.Tag,
+					Header: packet.Header{Kind: packet.KindSlice, Src: int32(id), Dst: int32(r.Dst), Round: round},
+					Cipher: r.Sealed.Cipher,
+					Nonce:  r.Sealed.Nonce,
+					Tag:    r.Sealed.Tag,
 					Color:  treeColor(t),
 				}
 				offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow

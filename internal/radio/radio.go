@@ -170,6 +170,11 @@ const PaperRate = 1e6
 // loss model, and the obs sink are all detached — exactly the fields New
 // leaves unset — so the owning stack must rewire what it needs, same as
 // after a fresh New.
+// Net returns the network the medium currently simulates — the one passed
+// to New or the latest Reset. MAC layers that derive geometry-dependent
+// schedules (slotted TDMA) read it at their own Reset time.
+func (m *Medium) Net() *topology.Network { return m.net }
+
 func (m *Medium) Reset(net *topology.Network) {
 	n := net.N()
 	m.net = net

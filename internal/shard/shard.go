@@ -170,6 +170,12 @@ func NewCoupled(part *topology.Partition, rateBps float64, workers int) *Coupled
 // or originate. stream supplies each region's private randomness (use
 // deterministic per-region derivation, e.g. root.Split(region+1), so the
 // draw sequence is a function of the region alone).
+//
+// Scheme-agnostic: under mac.SchemeTDMA every domain derives its slot
+// table from its medium's network, and since each domain's medium holds
+// the FULL global net (mirrors included), all domains compute identical
+// tables independently — a mirrored sender transmits in the same slot in
+// every region that hears it, no cross-domain slot exchange needed.
 func (c *Coupled) AttachMACs(cfg mac.Config, stream func(region int) *rng.Stream) {
 	c.lookahead = eventsim.Time(8 / c.rateBps) // one byte of airtime; see Coupled.lookahead
 	n := c.Part.Net.N()

@@ -80,11 +80,11 @@ type delivery struct {
 // runMACTraffic drives scripted unicast traffic through a coupled engine
 // with MACs attached and returns the merged, sorted delivery log plus the
 // per-domain MAC stats.
-func runMACTraffic(t *testing.T, net *topology.Network, regions, workers int) ([]delivery, []mac.Stats) {
+func runMACTraffic(t *testing.T, net *topology.Network, regions, workers int, cfg mac.Config) ([]delivery, []mac.Stats) {
 	t.Helper()
 	part := topology.PartitionGrid(net, regions)
 	c := NewCoupled(part, radio.PaperRate, workers)
-	c.AttachMACs(mac.DefaultConfig(), regionStreams(7))
+	c.AttachMACs(cfg, regionStreams(7))
 	logs := make([][]delivery, len(c.Domains))
 	for i, d := range c.Domains {
 		d, region := d, i
@@ -144,11 +144,11 @@ func runMACTraffic(t *testing.T, net *topology.Network, regions, workers int) ([
 func TestCoupledWorkerIndependence(t *testing.T) {
 	net := borderNet(t)
 	for _, regions := range []int{2, 4} {
-		want, wantStats := runMACTraffic(t, net, regions, 1)
+		want, wantStats := runMACTraffic(t, net, regions, 1, mac.DefaultConfig())
 		if len(want) == 0 {
 			t.Fatalf("regions=%d: no deliveries at all", regions)
 		}
-		got, gotStats := runMACTraffic(t, net, regions, 8)
+		got, gotStats := runMACTraffic(t, net, regions, 8, mac.DefaultConfig())
 		if len(got) != len(want) {
 			t.Fatalf("regions=%d: %d deliveries with 8 workers, %d with 1", regions, len(got), len(want))
 		}
@@ -161,6 +161,55 @@ func TestCoupledWorkerIndependence(t *testing.T) {
 			if gotStats[i] != wantStats[i] {
 				t.Fatalf("regions=%d: domain %d stats %+v with 8 workers, %+v with 1",
 					regions, i, gotStats[i], wantStats[i])
+			}
+		}
+	}
+}
+
+// TestCoupledTDMA pins the slotted MAC on the coupled engine: every
+// domain independently derives the same global slot table (each domain's
+// medium holds the full net, mirrors included), the schedule stays
+// contention-free across domains — zero retries, drops, or deferrals —
+// and delivery logs remain worker-count independent.
+func TestCoupledTDMA(t *testing.T) {
+	cfg := mac.DefaultConfig()
+	cfg.Scheme = mac.SchemeTDMA
+	net := borderNet(t)
+	for _, regions := range []int{2, 4} {
+		want, wantStats := runMACTraffic(t, net, regions, 1, cfg)
+		if len(want) == 0 {
+			t.Fatalf("regions=%d: no deliveries at all", regions)
+		}
+		got, gotStats := runMACTraffic(t, net, regions, 8, cfg)
+		if len(got) != len(want) {
+			t.Fatalf("regions=%d: %d deliveries with 8 workers, %d with 1", regions, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("regions=%d: delivery %d = %+v with 8 workers, %+v with 1", regions, i, got[i], want[i])
+			}
+		}
+		for i := range wantStats {
+			if gotStats[i] != wantStats[i] {
+				t.Fatalf("regions=%d: domain %d stats %+v with 8 workers, %+v with 1",
+					regions, i, gotStats[i], wantStats[i])
+			}
+			if s := wantStats[i]; s.Retries != 0 || s.Dropped != 0 || s.Deferred != 0 {
+				t.Fatalf("regions=%d: contention in domain %d under TDMA: %+v", regions, i, s)
+			}
+		}
+	}
+	// The per-domain slot tables must agree node for node: passive-mirror
+	// awareness is exactly "a mirrored sender owns the same slot
+	// everywhere it is audible".
+	part := topology.PartitionGrid(net, 4)
+	c := NewCoupled(part, radio.PaperRate, 1)
+	c.AttachMACs(cfg, regionStreams(7))
+	base := c.Domains[0].MAC
+	for i, d := range c.Domains[1:] {
+		for id := 0; id < net.N(); id++ {
+			if d.MAC.Slot(topology.NodeID(id)) != base.Slot(topology.NodeID(id)) {
+				t.Fatalf("domain %d slot table differs from domain 0 at node %d", i+1, id)
 			}
 		}
 	}

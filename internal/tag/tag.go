@@ -26,6 +26,10 @@ import (
 
 // Config parameterizes a TAG instance.
 type Config struct {
+	// MAC carries the full channel-access configuration, scheme included:
+	// setting MAC.Scheme = mac.SchemeTDMA runs the TAG baseline on the
+	// same contention-free slotted schedule as the iPDA stacks, keeping
+	// cross-protocol comparisons apples-to-apples under either scheme.
 	MAC mac.Config
 	// TreeDeadline bounds spanning-tree construction.
 	TreeDeadline eventsim.Time

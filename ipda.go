@@ -30,6 +30,8 @@ import (
 	"github.com/ipda-sim/ipda/internal/attack"
 	"github.com/ipda-sim/ipda/internal/core"
 	"github.com/ipda-sim/ipda/internal/fault"
+	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/metrics"
 	"github.com/ipda-sim/ipda/internal/mtree"
 	"github.com/ipda-sim/ipda/internal/obs"
@@ -76,6 +78,17 @@ type Config struct {
 	// nodes with no alternate parent sit the round out instead of feeding
 	// a dead subtree.
 	Repair bool
+	// Cipher selects the link-encryption keystream suite: "aes" (the
+	// batched AES-CTR engine, the default when empty) or "sha256" (the
+	// original hash-PRF compat mode). Query results are suite-independent;
+	// the suite only changes ciphertext and tag bytes on the air.
+	Cipher string
+	// MAC selects the channel-access scheme: "csma" (the paper's
+	// contention model, the default when empty) or "tdma" (contention-free
+	// slotted access from a deterministic two-hop coloring). Unlike
+	// Cipher, this is a modelling change — TDMA retimes every
+	// transmission, so results legitimately differ from CSMA runs.
+	MAC string
 	// Seed drives every random choice; equal configs reproduce runs
 	// exactly.
 	Seed uint64
@@ -103,8 +116,34 @@ func DefaultConfig(nodes int) Config {
 	}
 }
 
-func (c Config) coreConfig() core.Config {
+// suite parses Config.Cipher; empty selects the AES-CTR default.
+func (c Config) suite() (linksec.Suite, error) {
+	if c.Cipher == "" {
+		return linksec.SuiteAESCTR, nil
+	}
+	return linksec.ParseSuite(c.Cipher)
+}
+
+// macScheme parses Config.MAC; empty selects CSMA.
+func (c Config) macScheme() (mac.Scheme, error) {
+	if c.MAC == "" {
+		return mac.SchemeCSMA, nil
+	}
+	return mac.ParseScheme(c.MAC)
+}
+
+func (c Config) coreConfig() (core.Config, error) {
 	cfg := core.DefaultConfig()
+	suite, err := c.suite()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Suite = suite
+	scheme, err := c.macScheme()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.MAC.Scheme = scheme
 	cfg.Slices = c.Slices
 	cfg.Threshold = c.Threshold
 	cfg.Tree.Adaptive = c.AdaptiveRoles
@@ -120,7 +159,7 @@ func (c Config) coreConfig() core.Config {
 		fc := c.Faults.faultConfig()
 		cfg.Faults = &fc
 	}
-	return cfg
+	return cfg, nil
 }
 
 // FaultEvent is one scripted failure or recovery, applied immediately
@@ -190,7 +229,10 @@ func Deploy(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
-	ccfg := cfg.coreConfig()
+	ccfg, err := cfg.coreConfig()
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
 	var sink *obs.Sink
 	if cfg.Observe {
 		sink = obs.NewSink()
@@ -377,7 +419,13 @@ func DeployTAG(cfg Config) (*TAGNetwork, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
-	inst, err := tag.New(topo, tag.DefaultConfig(), cfg.Seed^0x7a6)
+	tcfg := tag.DefaultConfig()
+	scheme, err := cfg.macScheme()
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	tcfg.MAC.Scheme = scheme
+	inst, err := tag.New(topo, tcfg, cfg.Seed^0x7a6)
 	if err != nil {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
@@ -428,7 +476,10 @@ func LocalizePolluter(cfg Config, attacker int, delta int64) (suspect, rounds in
 		return 0, 0, fmt.Errorf("ipda: %w", err)
 	}
 	factory := func(disabled []bool, seed uint64) (*core.Instance, error) {
-		c := cfg.coreConfig()
+		c, err := cfg.coreConfig()
+		if err != nil {
+			return nil, err
+		}
 		c.Tree.Adaptive = false // probes want every covered node aggregating
 		c.Disabled = disabled
 		return core.New(topo, c, seed)
@@ -565,6 +616,17 @@ func DeployMultiTree(cfg Config, m int) (*MultiTreeNetwork, error) {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
 	mcfg := mtree.DefaultConfig(m)
+	suite, err := cfg.suite()
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	mcfg.Suite = suite
+	scheme, err := cfg.macScheme()
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	mcfg.MAC = mac.DefaultConfig()
+	mcfg.MAC.Scheme = scheme
 	mcfg.Slices = cfg.Slices
 	mcfg.Threshold = cfg.Threshold
 	mcfg.ShareSpread = cfg.ShareSpread

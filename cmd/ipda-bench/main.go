@@ -9,7 +9,8 @@
 //	ipda-bench -exp all               # everything (minutes)
 //	ipda-bench -exp fig7 -trials 20   # more trials per point
 //	ipda-bench -exp scale -shards 4   # sharded scale run (output is shard-independent)
-//	ipda-bench -exp all -progress     # live trials-completed counter
+//	ipda-bench -exp all -progress     # live trials-completed counter + latency quantiles
+//	ipda-bench -exp fig7 -qtrace-out q.jsonl  # causal per-query traces (see ipda-trace)
 //	ipda-bench -list                  # show experiment IDs
 //
 // Profiling (see EXPERIMENTS.md):
@@ -32,24 +33,26 @@ import (
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment ID or 'all'")
-		trials   = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
-		seed     = flag.Uint64("seed", 2024, "root random seed")
-		sizes    = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
-		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		shards   = flag.Int("shards", 0, "intra-trial shard workers for sharded experiments (0 = 1; output is shard-independent)")
-		cipher   = flag.String("cipher", "aes", "link-encryption keystream suite: aes | sha256 (tables are suite-independent)")
-		macFlag  = flag.String("mac", "csma", "channel-access scheme: csma | tdma (tdma retimes transmissions; tables differ from csma)")
-		format   = flag.String("format", "text", "output format: text | csv")
-		progress = flag.Bool("progress", false, "report trials completed per sweep on stderr")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		metrics  = flag.String("metrics", "", "write a Prometheus text-format snapshot of harness metrics to this file at exit")
+		exp       = flag.String("exp", "all", "experiment ID or 'all'")
+		trials    = flag.Int("trials", 0, "trials per data point (0 = experiment default)")
+		seed      = flag.Uint64("seed", 2024, "root random seed")
+		sizes     = flag.String("sizes", "", "comma-separated network sizes (default: paper's 200..600)")
+		workers   = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "intra-trial shard workers for sharded experiments (0 = 1; output is shard-independent)")
+		cipher    = flag.String("cipher", "aes", "link-encryption keystream suite: aes | sha256 (tables are suite-independent)")
+		macFlag   = flag.String("mac", "csma", "channel-access scheme: csma | tdma (tdma retimes transmissions; tables differ from csma)")
+		format    = flag.String("format", "text", "output format: text | csv")
+		progress  = flag.Bool("progress", false, "report trials completed per sweep on stderr")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics   = flag.String("metrics", "", "write a Prometheus text-format snapshot of harness metrics to this file at exit")
+		qtraceOut = flag.String("qtrace-out", "", "write causal per-query traces of every sweep as JSON lines to this file (inspect with ipda-trace)")
 	)
 	flag.Parse()
 
@@ -111,6 +114,13 @@ func main() {
 		sink = obs.NewSink()
 		opts.Obs = sink
 	}
+	// Trace collection is read-only: tables are byte-identical with and
+	// without a store attached.
+	var store *qtrace.Store
+	if *qtraceOut != "" {
+		store = qtrace.NewStore(0)
+		opts.QTrace = store
+	}
 	if *sizes != "" {
 		for _, part := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -162,6 +172,22 @@ func main() {
 		}
 	}
 
+	if store != nil {
+		f, err := os.Create(*qtraceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: qtrace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := store.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: qtrace-out: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ipda-bench: qtrace-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *metrics != "" && sink != nil {
 		f, err := os.Create(*metrics)
 		if err != nil {
@@ -180,11 +206,14 @@ func main() {
 }
 
 // reportSweeps prints the wall-clock and throughput gauges the harness
-// recorded for each sweep not yet reported. An experiment may run several
-// sweeps (one per curve); each gets its own line.
+// recorded for each sweep not yet reported, plus the simulated per-query
+// completion-latency quantiles where the experiment records them. An
+// experiment may run several sweeps (one per curve); each gets its own
+// line.
 func reportSweeps(sink *obs.Sink, reported map[string]bool) {
 	elapsed := map[string]float64{}
 	rate := map[string]float64{}
+	latency := map[string]obs.Sample{}
 	var order []string
 	for _, s := range sink.Reg.Snapshot() {
 		if len(s.Labels) != 1 || s.Labels[0].Name != "sweep" {
@@ -199,10 +228,20 @@ func reportSweeps(sink *obs.Sink, reported map[string]bool) {
 			elapsed[sweep] = s.Value
 		case "ipda_harness_sweep_trials_per_second":
 			rate[sweep] = s.Value
+		case "ipda_harness_query_latency_seconds":
+			latency[sweep] = s
 		}
 	}
 	for _, sweep := range order {
 		reported[sweep] = true
-		fmt.Fprintf(os.Stderr, "%s: %.2fs wall, %.1f trials/s\n", sweep, elapsed[sweep], rate[sweep])
+		line := fmt.Sprintf("%s: %.2fs wall, %.1f trials/s", sweep, elapsed[sweep], rate[sweep])
+		if h, ok := latency[sweep]; ok && h.Count > 0 {
+			line += fmt.Sprintf(", query latency p50=%.3gs p95=%.3gs p99=%.3gs (%d queries)",
+				obs.Quantile(h.Bounds, h.BucketCounts, 0.50),
+				obs.Quantile(h.Bounds, h.BucketCounts, 0.95),
+				obs.Quantile(h.Bounds, h.BucketCounts, 0.99),
+				h.Count)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }

@@ -13,6 +13,7 @@
 //	ipda-sim -nodes 400 -kill 17,42 -repair   # scripted crashes before round 0
 //	ipda-sim -nodes 400 -metrics out.prom     # Prometheus metric snapshot
 //	ipda-sim -nodes 400 -spans round.trace.json  # Perfetto phase spans
+//	ipda-sim -nodes 400 -qtrace q.jsonl       # causal per-query trace (see ipda-trace)
 package main
 
 import (
@@ -55,6 +56,7 @@ func main() {
 		metricsFile = flag.String("metrics", "", "write a Prometheus text-format metric snapshot to this file")
 		metricsAddr = flag.String("metrics-addr", "", "after the run, serve the metric snapshot on this address (e.g. :9090) until interrupted")
 		spansFile   = flag.String("spans", "", "write protocol phase spans as Chrome trace-event JSON (load in ui.perfetto.dev)")
+		qtraceFile  = flag.String("qtrace", "", "write the causal per-query trace as JSON lines to this file (inspect with ipda-trace)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func main() {
 	cfg.Threshold = *threshold
 	cfg.Seed = *seed
 	cfg.Observe = *metricsFile != "" || *metricsAddr != "" || *spansFile != ""
+	cfg.TraceQueries = *qtraceFile != ""
 	cfg.Repair = *repair
 	cfg.Cipher = *cipher
 	cfg.MAC = *macScheme
@@ -174,6 +177,21 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("trace:      %d events written to %s (%d dropped)\n", tr.Len(), *traceFile, tr.Dropped())
+	}
+
+	if q := net.QueryTrace(); q != nil {
+		f, err := os.Create(*qtraceFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := q.WriteJSONL(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("qtrace:     %d spans written to %s (%d dropped); inspect with ipda-trace\n",
+			q.Len(), *qtraceFile, q.Dropped())
 	}
 
 	if *compare {

@@ -1,36 +1,111 @@
-// Command ipda-trace summarizes a JSON-lines protocol timeline produced
-// by ipda-sim -trace (or ipda.Trace.WriteJSON): event counts by message
-// type, collision totals, the busiest observer, and the time span.
+// Command ipda-trace inspects the two JSON-lines trace formats the
+// simulator produces.
 //
-// Usage:
+// For causal per-query traces (ipda-sim -qtrace, ipda-bench -qtrace-out)
+// it prints a summary by default and supports three query modes:
 //
-//	ipda-sim -nodes 400 -trace round.jsonl
-//	ipda-trace round.jsonl
+//	ipda-trace q.jsonl                  # per-trial summary
+//	ipda-trace -query 1 q.jsonl         # causal span tree of query 1
+//	ipda-trace -critical-path q.jsonl   # tail-latency chain per round
+//	ipda-trace -health q.jsonl          # full round-health report
+//
+// For legacy protocol timelines (ipda-sim -trace) it prints the original
+// radio-level summary: event counts by message type, collision totals,
+// the busiest observer, and the time span. The format is autodetected
+// from the file's first record.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/trace"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: ipda-trace <timeline.jsonl>")
+	var (
+		query    = flag.Int("query", -1, "print the causal span tree of this query (aggregation round)")
+		critPath = flag.Bool("critical-path", false, "print each round's critical path: the causal chain behind its completion time")
+		health   = flag.Bool("health", false, "print the full round-health report (verdicts, subtree rollups, critical paths)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ipda-trace [-query N | -critical-path | -health] <trace.jsonl>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	path := flag.Arg(0)
+
+	if isQueryTrace(path) {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		lines, dropped, err := qtrace.ReadJSONL(f)
+		if err != nil {
+			fail(err)
+		}
+		groups, order := qtrace.GroupByTrial(lines)
+		switch {
+		case *query >= 0:
+			for _, k := range order {
+				spans := filterQuery(groups[k], uint32(*query))
+				if len(spans) == 0 {
+					continue
+				}
+				fmt.Printf("== %s ==\n", k)
+				if err := qtrace.WriteText(os.Stdout, spans); err != nil {
+					fail(err)
+				}
+			}
+		case *critPath:
+			for _, k := range order {
+				fmt.Printf("== %s ==\n", k)
+				for _, h := range qtrace.Analyze(groups[k]) {
+					fmt.Printf("query %d (%s, %.4fs):\n", h.Query, verdictOf(h), h.End-h.Begin)
+					for _, hop := range h.CriticalPath {
+						fmt.Printf("  %s node=%d [%.4f %.4f]\n", hop.Name, hop.Node, hop.Begin, hop.End)
+					}
+				}
+			}
+		case *health:
+			for _, k := range order {
+				fmt.Printf("== %s ==\n", k)
+				if err := qtrace.WriteHealth(os.Stdout, groups[k]); err != nil {
+					fail(err)
+				}
+			}
+		default:
+			fmt.Printf("trials:  %d (%d spans, %d dropped at capture)\n", len(order), len(lines), dropped)
+			for _, k := range order {
+				spans := groups[k]
+				rounds := qtrace.Analyze(spans)
+				accepted := 0
+				for _, h := range rounds {
+					if h.Verdict == "accepted" {
+						accepted++
+					}
+				}
+				fmt.Printf("  %-24s %6d spans, %d rounds (%d accepted)\n", k, len(spans), len(rounds), accepted)
+			}
+			fmt.Println("modes:   -query N | -critical-path | -health")
+		}
+		return
+	}
+
+	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipda-trace:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer f.Close()
 	log, err := trace.ReadJSON(f, 1<<22)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipda-trace:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	s := trace.Summarize(log)
 	fmt.Printf("capture:     %s mode\n", log.Mode())
@@ -47,4 +122,48 @@ func main() {
 	for _, k := range kinds {
 		fmt.Printf("  %-10s %d\n", k, s.ByDetailKind[k])
 	}
+}
+
+// isQueryTrace peeks at the file's first JSON record: qtrace lines carry
+// "name" and "id" fields, legacy timeline events carry "kind"/"detail".
+func isQueryTrace(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	var raw map[string]json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return false
+	}
+	if _, ok := raw["kind"]; ok {
+		return false
+	}
+	_, hasName := raw["name"]
+	_, hasDropped := raw["dropped"]
+	return hasName || hasDropped
+}
+
+// filterQuery keeps the spans of one query.
+func filterQuery(spans []qtrace.Span, q uint32) []qtrace.Span {
+	var out []qtrace.Span
+	for _, s := range spans {
+		if s.Query == q {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func verdictOf(h qtrace.Health) string {
+	if h.Verdict == "" {
+		return "unknown"
+	}
+	return h.Verdict
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ipda-trace:", err)
+	os.Exit(1)
 }

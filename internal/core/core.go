@@ -31,6 +31,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/slicing"
@@ -103,6 +104,14 @@ type Config struct {
 	// Nil disables instrumentation; observing never alters a run's
 	// protocol behavior or its results.
 	Obs *obs.Sink
+	// QTrace is the optional causal per-query tracer (see
+	// internal/qtrace). Every traced frame carries its causing span in
+	// the packet header's trace context, so radio airtime, MAC retries,
+	// and joules attribute hop by hop to a causally linked span tree
+	// rooted at the round. Tracing never schedules events and never
+	// draws randomness; nil disables it, and runs are byte-identical
+	// either way.
+	QTrace *qtrace.Tracer
 }
 
 // DefaultConfig returns the paper's recommended parameters: l = 2, Th = 5,
@@ -196,7 +205,7 @@ type Instance struct {
 	planned   [2][]uint16
 	delivered [2][]uint16
 	bsChild   [2]bsAccum // Phase III arrivals at the base station (0 red, 1 blue)
-	onQuery   func(self topology.NodeID)
+	onQuery   func(self topology.NodeID, p *packet.Packet)
 
 	// Steady-state reuse machinery: the per-node slicing plans, the
 	// candidate-filter scratch, the pooled Phase II/III send events, and
@@ -215,6 +224,19 @@ type Instance struct {
 	// sealReqs (the batch entries carry no color).
 	sealReqs   []linksec.SealReq
 	sealColors []packet.Color
+
+	// Query-tracing state (nil qt disables every site). roundSpan is the
+	// current round's root span; queryParent carries the received QUERY
+	// frame's span across the onQuery → start handoff; pendingAgg holds,
+	// per node, the child aggregate spans awaiting re-parenting to the
+	// node's own aggregate span (or, at a base station, to the verify
+	// instant). lastBSArrival is tracked unconditionally — it feeds
+	// RoundOutcome.Latency, which must not depend on tracing.
+	qt            *qtrace.Tracer
+	roundSpan     qtrace.Ref
+	queryParent   qtrace.Ref
+	pendingAgg    [][]qtrace.Ref
+	lastBSArrival eventsim.Time
 }
 
 // slicePlan is one node's Phase II plan for the current round. The targets
@@ -337,6 +359,14 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 			in.Medium.SetMeter(meter)
 		}
 	}
+	// Attach the tracer below the protocol too: the radio attributes
+	// airtime and joules, the MAC attributes retries/backoffs/drops and
+	// closes each frame's span when it leaves the queue.
+	in.qt = cfg.QTrace
+	in.Medium.SetQTrace(cfg.QTrace, energy.DefaultModel())
+	in.MAC.SetQTrace(cfg.QTrace)
+	in.roundSpan = qtrace.None
+	in.queryParent = qtrace.None
 	treeCfg := cfg.Tree
 	treeCfg.Disabled = cfg.Disabled
 	treeCfg.ExtraRoots = cfg.ExtraRoots
@@ -397,6 +427,7 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 		if cfg.Obs != nil {
 			inj.SetObs(cfg.Obs)
 		}
+		inj.SetQTrace(cfg.QTrace)
 		in.faults = inj
 	}
 	in.obs = nil
@@ -484,6 +515,12 @@ type RoundOutcome struct {
 	// aggregators that sat the round out for lack of a disjoint
 	// re-attachment; Repaired counts parent re-assignments applied.
 	Dead, Skipped, Repaired int
+	// Latency is the round's completion latency in simulated seconds:
+	// the last Phase III aggregate arrival at a base station, measured
+	// from the round's start (0 if nothing arrived). It is tracked
+	// unconditionally so outcomes never depend on whether tracing or
+	// other instrumentation is attached.
+	Latency float64
 }
 
 // Diff returns |S_b − S_r|.
@@ -561,6 +598,25 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:rejected", float64(in.Sim.Now()), uint32(in.round))
 			}
 		}
+		if in.qt != nil {
+			// The verify instant is the apex of the round's causal tree:
+			// the base stations' pending child aggregate spans re-parent
+			// under it, so every aggregation subtree hangs off the verdict.
+			verdict := "verify:accepted"
+			if !accepted {
+				verdict = "verify:rejected"
+			}
+			v := in.qt.Instant(uint32(in.round), in.roundSpan, 0, verdict, float64(in.Sim.Now()))
+			for i := 0; i < in.Net.N() && i < len(in.pendingAgg); i++ {
+				if in.Trees.Role[i] != tree.RoleBase {
+					continue
+				}
+				for _, child := range in.pendingAgg[i] {
+					in.qt.SetParent(child, v)
+				}
+				in.pendingAgg[i] = in.pendingAgg[i][:0]
+			}
+		}
 		if round < valueRounds {
 			sums[round] = out.Red
 		} else {
@@ -630,6 +686,23 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 	// or, with DisseminateQuery, when the node hears the QUERY flood.
 	participants := 0
 	t0 := in.Sim.Now()
+	in.roundSpan = qtrace.None
+	if in.qt != nil {
+		q := uint32(round)
+		in.roundSpan = in.qt.Start(q, qtrace.None, -1, "round", float64(t0))
+		if dead > 0 {
+			d := in.qt.Instant(q, in.roundSpan, -1, "tree:dead", float64(t0))
+			in.qt.SetValue(d, float64(dead))
+		}
+		if skipped > 0 {
+			s := in.qt.Instant(q, in.roundSpan, -1, "tree:skipped", float64(t0))
+			in.qt.SetValue(s, float64(skipped))
+		}
+		if repaired > 0 {
+			r := in.qt.Instant(q, in.roundSpan, -1, "tree:repaired", float64(t0))
+			in.qt.SetValue(r, float64(repaired))
+		}
+	}
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
 		p := &in.plans[i]
@@ -663,12 +736,24 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 			// that would perturb the simulation's event sequence.
 			in.Cfg.Obs.Span(int32(id), "phase2:slicing", float64(at), float64(at+in.Cfg.SliceWindow), uint32(round))
 		}
+		slSpan := qtrace.None
+		if in.qt != nil {
+			// Same statically-known extent as the obs span above. With a
+			// query flood the span parents to the received QUERY frame's
+			// span (causal); scheduled epochs parent to the round root.
+			parent := in.queryParent
+			if parent == qtrace.None {
+				parent = in.roundSpan
+			}
+			slSpan = in.qt.Start(uint32(round), parent, int32(id), "slicing", float64(at))
+			in.qt.End(slSpan, float64(at+in.Cfg.SliceWindow))
+		}
 		in.sealReqs = in.sealReqs[:0]
 		in.sealColors = in.sealColors[:0]
 		in.collectSlices(round, id, packet.Red, p.targets.Red, p.red)
 		in.collectSlices(round, id, packet.Blue, p.targets.Blue, p.blue)
 		in.ciphers.SealBatch(in.sealReqs)
-		in.scheduleSealed(at, round, id)
+		in.scheduleSealed(at, round, id, slSpan)
 	}
 	var floodBudget eventsim.Time
 	if in.Cfg.DisseminateQuery {
@@ -711,6 +796,9 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 		in.Cfg.Obs.Span(obs.TrackGlobal, "phase2:report-and-assemble", float64(t0+floodBudget), float64(t1), r)
 		in.Cfg.Obs.Span(obs.TrackGlobal, "phase3:tree-aggregation", float64(t1), float64(deadline), r)
 	}
+	if in.qt != nil {
+		in.qt.End(in.roundSpan, float64(deadline))
+	}
 	in.Sim.Run(deadline)
 
 	// Fuse collections across every base station: slices addressed to a
@@ -745,6 +833,7 @@ func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 		Dead:            dead,
 		Skipped:         skipped,
 		Repaired:        repaired,
+		Latency:         float64(in.lastBSArrival - t0),
 	}, nil
 }
 
@@ -833,6 +922,18 @@ func (in *Instance) resetRoundState() {
 	in.delivered[0] = resizeCleared(in.delivered[0], n)
 	in.delivered[1] = resizeCleared(in.delivered[1], n)
 	in.bsChild = [2]bsAccum{}
+	// No events have run since the round started, so Now() is the round's
+	// t0: a round with no base-station arrival reports Latency 0.
+	in.lastBSArrival = in.Sim.Now()
+	if in.qt != nil {
+		if cap(in.pendingAgg) < n {
+			in.pendingAgg = append(in.pendingAgg[:cap(in.pendingAgg)], make([][]qtrace.Ref, n-cap(in.pendingAgg))...)
+		}
+		in.pendingAgg = in.pendingAgg[:n]
+		for i := range in.pendingAgg {
+			in.pendingAgg[i] = in.pendingAgg[i][:0]
+		}
+	}
 }
 
 // resizeCleared returns s resized to n elements, all zero, reusing its
@@ -892,21 +993,31 @@ func (in *Instance) fireSlice(ev *sliceEvent) {
 func (in *Instance) floodQuery(round uint16, onStart func(id topology.NodeID, at eventsim.Time)) {
 	heard := resizeCleared(in.heard, in.Net.N())
 	in.heard = heard
-	in.onQuery = func(self topology.NodeID) {
+	q := uint32(round)
+	in.onQuery = func(self topology.NodeID, p *packet.Packet) {
 		if heard[self] || in.disabled(self) {
 			return
 		}
 		heard[self] = true
+		// The received frame's span is the causal parent of everything
+		// this reception triggers: the rebroadcast and, via queryParent,
+		// the node's slicing span.
+		in.queryParent = qtrace.Ref(p.TraceSpan)
 		role := in.Trees.Role[self]
 		if role == tree.RoleRed || role == tree.RoleBlue {
+			fwd := in.qt.Start(q, in.queryParent, int32(self), "query:forward", float64(in.Sim.Now()))
 			in.MAC.Send(self, &packet.Packet{
-				Header: packet.Header{Kind: packet.KindQuery, Src: int32(self), Dst: packet.Broadcast, Round: round},
+				Header: packet.Header{Kind: packet.KindQuery, Src: int32(self), Dst: packet.Broadcast, Round: round,
+					TraceQ: round, TraceSpan: uint32(fwd)},
 			})
 		}
 		onStart(self, in.Sim.Now())
+		in.queryParent = qtrace.None
 	}
+	diss := in.qt.Start(q, in.roundSpan, 0, "query:disseminate", float64(in.Sim.Now()))
 	in.MAC.Send(0, &packet.Packet{
-		Header: packet.Header{Kind: packet.KindQuery, Src: 0, Dst: packet.Broadcast, Round: round},
+		Header: packet.Header{Kind: packet.KindQuery, Src: 0, Dst: packet.Broadcast, Round: round,
+			TraceQ: round, TraceSpan: uint32(diss)},
 	})
 }
 
@@ -967,8 +1078,10 @@ func (in *Instance) collectSlices(round uint16, src topology.NodeID, color packe
 // scheduleSealed schedules one pooled send event per sealed request at a
 // uniform random offset in the slicing window. Offsets are drawn in
 // collection order (reds then blues, target order), matching the rng
-// consumption of the former interleaved loop draw for draw.
-func (in *Instance) scheduleSealed(t0 eventsim.Time, round uint16, src topology.NodeID) {
+// consumption of the former interleaved loop draw for draw. With tracing,
+// each slice gets a span (child of the node's slicing span) beginning at
+// its scheduled send time; the MAC closes it when the frame resolves.
+func (in *Instance) scheduleSealed(t0 eventsim.Time, round uint16, src topology.NodeID, parent qtrace.Ref) {
 	for i := range in.sealReqs {
 		r := &in.sealReqs[i]
 		if !r.OK {
@@ -984,6 +1097,12 @@ func (in *Instance) scheduleSealed(t0 eventsim.Time, round uint16, src topology.
 			Color:  in.sealColors[i],
 		}
 		offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
+		if in.qt != nil {
+			ref := in.qt.Start(uint32(round), parent, int32(src), "slice", float64(t0+offset))
+			in.qt.SetPeer(ref, int32(r.Dst))
+			ev.pkt.TraceQ = round
+			ev.pkt.TraceSpan = uint32(ref)
+		}
 		in.Sim.At(t0+offset, ev.fire)
 	}
 }
@@ -1019,7 +1138,7 @@ func (in *Instance) installReceivers(round uint16) {
 				in.onAggregate(self, p)
 			case packet.KindQuery:
 				if in.onQuery != nil {
-					in.onQuery(self)
+					in.onQuery(self, p)
 				}
 			}
 		}
@@ -1042,11 +1161,17 @@ func (in *Instance) onSlice(self topology.NodeID, p *packet.Packet) {
 		if in.obs != nil {
 			in.obs.slicesRejected.Inc()
 		}
+		if in.qt != nil {
+			in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:rejected", float64(in.Sim.Now()))
+		}
 		return // forged or corrupted; drop
 	}
 	in.addShare(self, p.Color, topology.NodeID(p.Src), share)
 	if in.obs != nil {
 		in.obs.slicesAssembled.Inc()
+	}
+	if in.qt != nil {
+		in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:assembled", float64(in.Sim.Now()))
 	}
 }
 
@@ -1066,6 +1191,8 @@ func (in *Instance) onAggregate(self topology.NodeID, p *packet.Packet) {
 		}
 		acc.sum += p.Value
 		acc.count += p.Count
+		in.lastBSArrival = in.Sim.Now()
+		in.noteAggArrival(self, p)
 		return
 	}
 	role := in.Trees.Role[self]
@@ -1074,6 +1201,21 @@ func (in *Instance) onAggregate(self topology.NodeID, p *packet.Packet) {
 	}
 	in.childSum[self] += p.Value
 	in.childCount[self] += p.Count
+	in.noteAggArrival(self, p)
+}
+
+// noteAggArrival records a traced aggregate arrival: an ":rx" instant
+// under the child's span, and the child span itself queued for
+// re-parenting when this node forwards its own partial sum (or, at a base
+// station, when the round's verify instant is recorded).
+func (in *Instance) noteAggArrival(self topology.NodeID, p *packet.Packet) {
+	if in.qt == nil {
+		return
+	}
+	in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "aggregate:rx", float64(in.Sim.Now()))
+	if int(self) < len(in.pendingAgg) {
+		in.pendingAgg[self] = append(in.pendingAgg[self], qtrace.Ref(p.TraceSpan))
+	}
 }
 
 // sendAggregate emits node id's Phase III partial sum to its tree parent.
@@ -1100,12 +1242,32 @@ func (in *Instance) sendAggregate(round uint16, id topology.NodeID) {
 	if parent == topology.None {
 		return
 	}
-	in.MAC.Send(id, &packet.Packet{
+	pkt := packet.Packet{
 		Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(parent), Round: round},
 		Value:  value,
 		Count:  in.childCount[id] + 1,
 		Color:  color,
-	})
+	}
+	if in.qt != nil {
+		// The node's aggregate span adopts the child aggregate spans that
+		// fed it, so the exported trace mirrors the aggregation tree and
+		// subtree rollups fall out of plain parent-chasing.
+		name := "aggregate:red"
+		if color == packet.Blue {
+			name = "aggregate:blue"
+		}
+		agg := in.qt.Start(uint32(round), in.roundSpan, int32(id), name, float64(in.Sim.Now()))
+		in.qt.SetPeer(agg, int32(parent))
+		if int(id) < len(in.pendingAgg) {
+			for _, child := range in.pendingAgg[id] {
+				in.qt.SetParent(child, agg)
+			}
+			in.pendingAgg[id] = in.pendingAgg[id][:0]
+		}
+		pkt.TraceQ = round
+		pkt.TraceSpan = uint32(agg)
+	}
+	in.MAC.Send(id, &pkt)
 	if in.obs != nil {
 		in.obs.aggregatesSent.Inc()
 		in.Cfg.Obs.Instant(int32(id), "aggregate:sent", float64(in.Sim.Now()), uint32(round))

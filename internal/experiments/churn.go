@@ -54,6 +54,11 @@ func Churn(o Options) (*Table, error) {
 			cfg := o.coreConfig()
 			cfg.Faults = &fcfg
 			cfg.Repair = repair
+			qslot := "repair"
+			if !repair {
+				qslot = "norepair"
+			}
+			cfg.QTrace = tr.QTrace.Tracer(qslot)
 			in, err := arena.Core("churn", net, cfg, protoSeed)
 			if err != nil {
 				return err
@@ -64,6 +69,7 @@ func Churn(o Options) (*Table, error) {
 					return err
 				}
 				out := res.Outcomes[0]
+				tr.RecordLatency(out.Latency)
 				live := net.N() - 1 - out.Dead
 				accuracy := 0.0
 				if live > 0 {
@@ -82,7 +88,9 @@ func Churn(o Options) (*Table, error) {
 		// TAG baseline: no integrity check to accept or reject, so only
 		// accuracy is reported. Driven by its own injector replaying the
 		// same schedule (TAG has no extra base stations either).
-		tg, err := arena.Tag("churn", net, o.tagConfig(), tr.Rng.Split(4).Uint64())
+		tcfg := o.tagConfig()
+		tcfg.QTrace = tr.QTrace.Tracer("tag")
+		tg, err := arena.Tag("churn", net, tcfg, tr.Rng.Split(4).Uint64())
 		if err != nil {
 			return err
 		}
@@ -90,12 +98,14 @@ func Churn(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
+		inj.SetQTrace(tcfg.QTrace)
 		for r := 0; r < churnRounds; r++ {
 			inj.Advance(r, float64(tg.Sim.Now()), tg)
 			res, err := tg.RunCount()
 			if err != nil {
 				return err
 			}
+			tr.RecordLatency(res.Outcomes[0].Latency)
 			live := net.N() - 1 - inj.DeadCount()
 			accuracy := 0.0
 			if live > 0 {

@@ -24,6 +24,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/mtree"
 	"github.com/ipda-sim/ipda/internal/obs"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -54,6 +55,12 @@ type Options struct {
 	// never enter the Table output, so tables stay byte-identical with
 	// and without a sink.
 	Obs *obs.Sink
+	// QTrace, when non-nil, collects causal per-query traces for every
+	// sweep the experiment runs (see harness.Sweep.QTrace). Tracing is
+	// read-only: tables are byte-identical with and without a store, and
+	// the exported trace is byte-identical for every Workers and Shards
+	// value.
+	QTrace *qtrace.Store
 	// FreshWorlds disables the per-worker simulation arenas: every trial
 	// constructs its deployment and protocol instances from scratch
 	// instead of resetting the worker's pooled ones. Output is identical
@@ -134,6 +141,7 @@ func (o Options) sweep(id string, points, def int) harness.Sweep {
 		Workers:  o.Workers,
 		Progress: o.Progress,
 		Obs:      o.Obs,
+		QTrace:   o.QTrace,
 	}
 	if !o.FreshWorlds {
 		s.WorkerState = func() any { return world.New() }

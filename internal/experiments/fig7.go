@@ -52,13 +52,17 @@ func Fig7(o Options) (*Table, error) {
 			return err
 		}
 		// TAG.
-		tg, err := arena.Tag("fig7", net, o.tagConfig(), tr.Rng.Split(2).Uint64())
+		tcfg := o.tagConfig()
+		tcfg.QTrace = tr.QTrace.Tracer("tag")
+		tg, err := arena.Tag("fig7", net, tcfg, tr.Rng.Split(2).Uint64())
 		if err != nil {
 			return err
 		}
-		if _, err := tg.RunCount(); err != nil {
+		tres, err := tg.RunCount()
+		if err != nil {
 			return err
 		}
+		tr.RecordLatency(tres.Outcomes[0].Latency)
 		out := accounting(tg.Medium.TotalBytes(), tg.MAC.Stats().AcksSent, tg.MAC.Stats().Sent, ackSize)
 		tagBytes.Add(tr, out.bytes)
 		tagFrames.Add(tr, out.dataFrames)
@@ -67,16 +71,21 @@ func Fig7(o Options) (*Table, error) {
 			cfg := o.coreConfig()
 			cfg.Slices = l
 			slot := "fig7/l1"
+			qslot := "l1"
 			if l == 2 {
 				slot = "fig7/l2"
+				qslot = "l2"
 			}
+			cfg.QTrace = tr.QTrace.Tracer(qslot)
 			in, err := arena.Core(slot, net, cfg, tr.Rng.Split(uint64(10+l)).Uint64())
 			if err != nil {
 				return err
 			}
-			if _, err := in.RunCount(); err != nil {
+			res, err := in.RunCount()
+			if err != nil {
 				return err
 			}
+			tr.RecordLatency(res.Outcomes[0].Latency)
 			out := accounting(in.Medium.TotalBytes(), in.MAC.Stats().AcksSent, in.MAC.Stats().Sent, ackSize)
 			if l == 1 {
 				l1Bytes.Add(tr, out.bytes)

@@ -44,6 +44,7 @@ func MTrees(o Options) (*Table, error) {
 			if m > cfg.K {
 				cfg.K = m
 			}
+			cfg.QTrace = tr.QTrace.Tracer([...]string{"m2", "m3", "m4"}[mi])
 			in, err := arena.MTree("mtrees", net, cfg, tr.Rng.Split(uint64(m)).Uint64())
 			if err != nil {
 				return err

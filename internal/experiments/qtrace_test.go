@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ipda-sim/ipda/internal/qtrace"
+)
+
+// qtraceExperiments are the experiments with trace wiring: together they
+// cover the core stack (fig7), fault injection and the TAG baseline
+// (churn), the m-tree generalization (mtrees), and hierarchical sharding
+// (scale).
+var qtraceExperiments = []string{"fig7", "churn", "mtrees", "scale"}
+
+// runWithStore runs one experiment with an attached trace store and
+// returns the table plus the store's JSONL export.
+func runWithStore(t *testing.T, name string, o Options) (*Table, string) {
+	t.Helper()
+	store := qtrace.NewStore(0)
+	o.QTrace = store
+	tb, err := Run(name, o)
+	if err != nil {
+		t.Fatalf("%s %+v: %v", name, o, err)
+	}
+	var buf bytes.Buffer
+	if err := store.WriteJSONL(&buf); err != nil {
+		t.Fatalf("%s: WriteJSONL: %v", name, err)
+	}
+	return tb, buf.String()
+}
+
+// TestQtraceDoesNotPerturbRun is the tracing layer's read-only contract:
+// attaching a trace store must leave every experiment table structurally
+// identical (reflect.DeepEqual) to the untraced run. Tracing only records
+// protocol state — it never schedules events or draws randomness.
+func TestQtraceDoesNotPerturbRun(t *testing.T) {
+	for _, name := range qtraceExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			o := smallOptions(name, 2, 2, false)
+			plain, err := Run(name, o)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			traced, jsonl := runWithStore(t, name, o)
+			if !reflect.DeepEqual(plain, traced) {
+				var pb, tb bytes.Buffer
+				plain.Fprint(&pb)
+				traced.Fprint(&tb)
+				t.Errorf("table differs with tracing attached:\n--- untraced ---\n%s--- traced ---\n%s", pb.String(), tb.String())
+			}
+			if strings.Count(jsonl, "\n") < 2 {
+				t.Errorf("trace export suspiciously empty:\n%s", jsonl)
+			}
+		})
+	}
+}
+
+// TestQtraceByteIdenticalAcrossWorkers pins the export's determinism
+// guarantee at the trace level: the JSONL trace itself — not just the
+// tables — must be byte-identical whether trials run on one worker or
+// race across eight, because trace bundles are keyed by (sweep, point,
+// trial) and the export sorts by key.
+func TestQtraceByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, name := range qtraceExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			_, seq := runWithStore(t, name, smallOptions(name, 1, 1, false))
+			_, par := runWithStore(t, name, smallOptions(name, 8, 1, false))
+			if seq != par {
+				t.Errorf("trace differs between Workers=1 and Workers=8 (%d vs %d bytes)", len(seq), len(par))
+			}
+		})
+	}
+}
+
+// TestQtraceByteIdenticalAcrossShards extends the guarantee to
+// intra-trial sharding: per-region tracer slots are keyed by region
+// index, never by shard worker, so Shards is execution-only for the
+// trace too.
+func TestQtraceByteIdenticalAcrossShards(t *testing.T) {
+	base := ""
+	for _, shards := range []int{1, 2, 4} {
+		_, got := runWithStore(t, "scale", smallOptions("scale", 2, shards, false))
+		if shards == 1 {
+			base = got
+			if strings.Count(base, "\n") < 2 {
+				t.Fatalf("scale trace suspiciously empty:\n%s", base)
+			}
+			continue
+		}
+		if got != base {
+			t.Errorf("trace differs between Shards=1 and Shards=%d (%d vs %d bytes)", shards, len(base), len(got))
+		}
+	}
+}

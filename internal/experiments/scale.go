@@ -58,7 +58,7 @@ func Scale(o Options) (*Table, error) {
 			return err
 		}
 		plan := shard.NewPlan(net, shard.DefaultRegions(n))
-		out, err := shard.RunHier(plan, o.coreConfig(), tr.Rng.Split(2), shards, arena)
+		out, err := shard.RunHier(plan, o.coreConfig(), tr.Rng.Split(2), shards, arena, tr.QTrace)
 		if err != nil {
 			return err
 		}

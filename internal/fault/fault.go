@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/ipda-sim/ipda/internal/obs"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
@@ -117,6 +118,7 @@ type Injector struct {
 	crashes  uint64
 	recovers uint64
 	o        *injObs
+	qt       *qtrace.Tracer
 }
 
 type injObs struct {
@@ -169,6 +171,11 @@ func (inj *Injector) SetObs(sink *obs.Sink) {
 		dead:     sink.Reg.Gauge("ipda_fault_dead_nodes", "nodes currently down"),
 	}
 }
+
+// SetQTrace attaches a causal tracer: every injected crash and recovery
+// is recorded as a root-level instant, so round-health reports can line
+// up acceptance loss with the fault trace that caused it. Nil detaches.
+func (inj *Injector) SetQTrace(t *qtrace.Tracer) { inj.qt = t }
 
 // Advance applies the schedule for one protocol round to tgt: scripted
 // events for that round first, then the churn draws, nodes in ascending ID
@@ -223,6 +230,9 @@ func (inj *Injector) crash(id topology.NodeID, at float64, tgt Target) {
 		inj.o.dead.Set(float64(inj.DeadCount()))
 		inj.o.sink.Instant(int32(id), "fault:crash", at, uint32(inj.round))
 	}
+	if inj.qt != nil {
+		inj.qt.Instant(uint32(inj.round), qtrace.None, int32(id), "fault:crash", at)
+	}
 }
 
 func (inj *Injector) recover(id topology.NodeID, at float64, tgt Target) {
@@ -236,6 +246,9 @@ func (inj *Injector) recover(id topology.NodeID, at float64, tgt Target) {
 		inj.o.recovers.Inc()
 		inj.o.dead.Set(float64(inj.DeadCount()))
 		inj.o.sink.Instant(int32(id), "fault:recover", at, uint32(inj.round))
+	}
+	if inj.qt != nil {
+		inj.qt.Instant(uint32(inj.round), qtrace.None, int32(id), "fault:recover", at)
 	}
 }
 

@@ -36,8 +36,14 @@ import (
 	"time"
 
 	"github.com/ipda-sim/ipda/internal/obs"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
 )
+
+// LatencyBuckets is the exponential bucket layout of the harness'
+// per-query completion-latency histogram: simulated round latencies live
+// in the single-digit-seconds band, with a heavy tail under contention.
+var LatencyBuckets = obs.ExpBuckets(0.25, 1.4, 24)
 
 // Sweep declares one experiment's (point × trial) grid.
 type Sweep struct {
@@ -73,6 +79,12 @@ type Sweep struct {
 	// Rng) whether State is fresh or has served a thousand prior trials,
 	// which is what keeps Workers=1 and Workers=N byte-identical.
 	WorkerState func() any
+	// QTrace, when non-nil, collects causal query traces: every trial
+	// gets its own span bundle, keyed by (ID, point, trial), exposed to
+	// the trial function as T.QTrace. Because bundles are keyed — never
+	// shared — and the store's export sorts by key, the exported trace is
+	// byte-identical for every Workers value.
+	QTrace *qtrace.Store
 }
 
 // T is the execution context handed to one trial.
@@ -90,6 +102,20 @@ type T struct {
 	// (nil when the sweep has none). Trials on the same worker see the
 	// same value; trials on different workers never share one.
 	State any
+	// QTrace is this trial's span bundle from Sweep.QTrace (nil when the
+	// sweep collects no traces; its Tracer method is nil-safe, so trial
+	// functions wire config tracers unconditionally).
+	QTrace *qtrace.TrialTraces
+
+	latencies []float64
+}
+
+// RecordLatency buffers one completed query's end-to-end latency in
+// simulated seconds. Buffered values are folded into the sweep's
+// latency histogram under the completion lock — histogram adds commute,
+// so the final distribution is independent of worker count.
+func (t *T) RecordLatency(seconds float64) {
+	t.latencies = append(t.latencies, seconds)
 }
 
 func (s Sweep) workers() int {
@@ -119,6 +145,7 @@ func (s Sweep) Run(trial func(t *T) error) error {
 	// registry is not thread-safe, so workers only touch the dense
 	// handles (and only under mu).
 	var trialCounters []obs.Counter
+	var latencyHist obs.Histogram
 	var startWall time.Time
 	observing := s.Obs != nil && s.Obs.Reg != nil
 	if observing {
@@ -129,6 +156,9 @@ func (s Sweep) Run(trial func(t *T) error) error {
 				"completed trials per sweep point",
 				sweepLabel, obs.Label{Name: "point", Value: strconv.Itoa(p)})
 		}
+		latencyHist = s.Obs.Reg.Histogram("ipda_harness_query_latency_seconds",
+			"per-query completion latency (simulated seconds)",
+			LatencyBuckets, sweepLabel)
 		startWall = time.Now()
 	}
 
@@ -153,13 +183,15 @@ func (s Sweep) Run(trial func(t *T) error) error {
 					continue // cancelled: drain the queue
 				}
 				point, tr := idx/s.Trials, idx%s.Trials
-				err := runTrial(trial, &T{
-					Point: point,
-					Trial: tr,
-					Rng:   root.SplitPath(uint64(point)+1, uint64(tr)+1),
-					Ctx:   ctx,
-					State: state,
-				})
+				tt := &T{
+					Point:  point,
+					Trial:  tr,
+					Rng:    root.SplitPath(uint64(point)+1, uint64(tr)+1),
+					Ctx:    ctx,
+					State:  state,
+					QTrace: s.QTrace.Trial(s.ID, point, tr),
+				}
+				err := runTrial(trial, tt)
 				mu.Lock()
 				if err != nil {
 					if failErr == nil || idx < failIdx {
@@ -173,6 +205,14 @@ func (s Sweep) Run(trial func(t *T) error) error {
 				done++
 				if trialCounters != nil {
 					trialCounters[point].Inc()
+				}
+				if observing {
+					// Histogram folds commute, so the distribution is the
+					// same at every worker count even though trials complete
+					// in nondeterministic order.
+					for _, v := range tt.latencies {
+						latencyHist.Observe(v)
+					}
 				}
 				if s.Progress != nil {
 					s.Progress(done, total)

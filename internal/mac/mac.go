@@ -18,6 +18,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -99,6 +100,7 @@ type MAC struct {
 	lastSeq  map[pairKey]uint16
 	stats    Stats
 	obs      *macObs
+	qt       *qtrace.Tracer
 
 	// Reusable frame buffers: one data buffer and one ACK buffer per node.
 	// A node's previous frame is fully resolved by the medium before it can
@@ -188,6 +190,7 @@ func (m *MAC) Reset(n int, cfg Config, rand *rng.Stream) {
 	clear(m.lastSeq)
 	m.stats = Stats{}
 	m.obs = nil
+	m.qt = nil
 
 	m.attemptFn = resizeFns(m.attemptFn, n)
 	m.deqFn = resizeFns(m.deqFn, n)
@@ -348,6 +351,13 @@ func (m *MAC) SetObs(sink *obs.Sink) {
 	}
 }
 
+// SetQTrace attaches a query tracer: backoffs, retransmissions, and
+// drops are attributed to the span each queued frame carries in its
+// trace context, and a traced frame's span is extended to the moment
+// the MAC retires it (ACKed, end of broadcast air, or dropped) — the
+// per-hop latency a causal trace reports. Reset detaches the tracer.
+func (m *MAC) SetQTrace(t *qtrace.Tracer) { m.qt = t }
+
 // Stats returns cumulative counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
@@ -428,10 +438,16 @@ func (m *MAC) attempt(src topology.NodeID, sense, window int) {
 		if m.obs != nil {
 			m.obs.backoffs.Inc()
 		}
+		if m.qt != nil {
+			m.qt.AddBackoff(qtrace.Ref(q[0].pkt.TraceSpan))
+		}
 		if sense+1 >= m.cfg.MaxAttempts {
 			m.stats.Dropped++
 			if m.obs != nil {
 				m.obs.dropped.Inc()
+			}
+			if m.qt != nil {
+				m.qt.AddDrop(qtrace.Ref(q[0].pkt.TraceSpan))
 			}
 			m.dequeue(src)
 			return
@@ -483,12 +499,18 @@ func (m *MAC) checkAck(src topology.NodeID) {
 		if m.obs != nil {
 			m.obs.dropped.Inc()
 		}
+		if m.qt != nil {
+			m.qt.AddDrop(qtrace.Ref(f.pkt.TraceSpan))
+		}
 		m.dequeue(src)
 		return
 	}
 	m.stats.Retries++
 	if m.obs != nil {
 		m.obs.retries.Inc()
+	}
+	if m.qt != nil {
+		m.qt.AddRetry(qtrace.Ref(f.pkt.TraceSpan))
 	}
 	// A retransmission backs off from an elevated contention window but is
 	// a fresh transmission attempt: its carrier-sense budget restarts at
@@ -500,9 +522,16 @@ func (m *MAC) checkAck(src topology.NodeID) {
 	m.scheduleAttempt(src, 0, window)
 }
 
+// dequeue retires src's in-service frame. Every resolution path of a
+// frame funnels through here — broadcast end-of-air, ACKed unicast,
+// and both drop paths — so this is the single point that closes the
+// frame's causal span at the retirement time.
 func (m *MAC) dequeue(src topology.NodeID) {
 	q := m.queues[src]
 	if len(q) > 0 {
+		if m.qt != nil {
+			m.qt.End(qtrace.Ref(q[0].pkt.TraceSpan), float64(m.sim.Now()))
+		}
 		m.putFrame(q[0])
 		copy(q, q[1:])
 		q[len(q)-1] = nil

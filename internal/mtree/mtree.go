@@ -24,11 +24,13 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/slicing"
@@ -64,6 +66,9 @@ type Config struct {
 	MAC mac.Config
 	// Obs is the optional instrumentation sink (see core.Config.Obs).
 	Obs *obs.Sink
+	// QTrace is the optional causal per-query tracer (see
+	// core.Config.QTrace); nil disables tracing and never changes a run.
+	QTrace *qtrace.Tracer
 }
 
 // DefaultConfig returns m-tree defaults matching the core protocol's.
@@ -140,6 +145,18 @@ type Instance struct {
 	// t+1's target choice happen after tree t's send offsets, so a wider
 	// batch would reorder rand consumption and change results.
 	sealReqs []linksec.SealReq
+
+	// Query-tracing state (see core.Instance).
+	qt         *qtrace.Tracer
+	roundSpan  qtrace.Ref
+	pendingAgg [][]qtrace.Ref
+}
+
+// aggSpanNames maps tree index to its aggregate span name without a
+// per-send string concatenation (Trees is capped at 8 by Validate).
+var aggSpanNames = [8]string{
+	"aggregate:t0", "aggregate:t1", "aggregate:t2", "aggregate:t3",
+	"aggregate:t4", "aggregate:t5", "aggregate:t6", "aggregate:t7",
 }
 
 // treeColor maps tree index 0..m-1 onto the packet Color byte (1..m).
@@ -199,6 +216,10 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 		in.medium.SetObs(cfg.Obs)
 		in.mac.SetObs(cfg.Obs)
 	}
+	in.qt = cfg.QTrace
+	in.medium.SetQTrace(cfg.QTrace, energy.DefaultModel())
+	in.mac.SetQTrace(cfg.QTrace)
+	in.roundSpan = qtrace.None
 	buildStart := float64(in.sim.Now())
 	in.buildTrees(root.Split(3))
 	if cfg.Obs != nil {
@@ -523,6 +544,17 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 
 	// Phase II.
 	t0 := in.sim.Now()
+	in.roundSpan = qtrace.None
+	if in.qt != nil {
+		in.roundSpan = in.qt.Start(uint32(round), qtrace.None, -1, "round", float64(t0))
+		if cap(in.pendingAgg) < n {
+			in.pendingAgg = append(in.pendingAgg[:cap(in.pendingAgg)], make([][]qtrace.Ref, n-cap(in.pendingAgg))...)
+		}
+		in.pendingAgg = in.pendingAgg[:n]
+		for i := range in.pendingAgg {
+			in.pendingAgg[i] = in.pendingAgg[i][:0]
+		}
+	}
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
 		if !in.CanSlice(id) {
@@ -530,6 +562,11 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 		}
 		if in.Cfg.Obs != nil {
 			in.Cfg.Obs.Span(int32(id), "phase2:slicing", float64(t0), float64(t0+in.Cfg.SliceWindow), uint32(round))
+		}
+		slSpan := qtrace.None
+		if in.qt != nil {
+			slSpan = in.qt.Start(uint32(round), in.roundSpan, int32(id), "slicing", float64(t0))
+			in.qt.End(slSpan, float64(t0+in.Cfg.SliceWindow))
 		}
 		for t := 0; t < m; t++ {
 			targets := in.chooseTargets(id, t)
@@ -563,6 +600,12 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 					Color:  treeColor(t),
 				}
 				offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
+				if in.qt != nil {
+					ref := in.qt.Start(uint32(round), slSpan, int32(id), "slice", float64(t0+offset))
+					in.qt.SetPeer(ref, int32(r.Dst))
+					p.TraceQ = round
+					p.TraceSpan = uint32(ref)
+				}
 				in.sim.At(t0+offset, func() { in.mac.Send(id, p) })
 			}
 		}
@@ -591,6 +634,9 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 		in.Cfg.Obs.Span(obs.TrackGlobal, "round", float64(t0), float64(deadline), r)
 		in.Cfg.Obs.Span(obs.TrackGlobal, "phase3:tree-aggregation", float64(t1), float64(deadline), r)
 	}
+	if in.qt != nil {
+		in.qt.End(in.roundSpan, float64(deadline))
+	}
 	in.sim.Run(deadline)
 
 	totals := make([]int64, m)
@@ -609,7 +655,33 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 			"trees voted outside the majority cluster").Add(float64(len(v.Outliers)))
 		in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:"+verdict, float64(in.sim.Now()), uint32(round))
 	}
+	if in.qt != nil {
+		verdict := "verify:rejected"
+		if v.Accepted {
+			verdict = "verify:accepted"
+		}
+		vRef := in.qt.Instant(uint32(round), in.roundSpan, 0, verdict, float64(in.sim.Now()))
+		if len(in.pendingAgg) > 0 {
+			for _, child := range in.pendingAgg[0] {
+				in.qt.SetParent(child, vRef)
+			}
+			in.pendingAgg[0] = in.pendingAgg[0][:0]
+		}
+	}
 	return v, nil
+}
+
+// noteAggArrival mirrors core.Instance.noteAggArrival for the m-tree
+// engine: an ":rx" instant under the sender's span plus re-parenting
+// bookkeeping.
+func (in *Instance) noteAggArrival(self topology.NodeID, p *packet.Packet) {
+	if in.qt == nil {
+		return
+	}
+	in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "aggregate:rx", float64(in.sim.Now()))
+	if int(self) < len(in.pendingAgg) {
+		in.pendingAgg[self] = append(in.pendingAgg[self], qtrace.Ref(p.TraceSpan))
+	}
 }
 
 // chooseTargets picks the node's l slice targets on tree t (itself first
@@ -670,9 +742,15 @@ func (in *Instance) installReceivers(round uint16) {
 				}
 				share, err := cipher.Open(linksec.Sealed{Cipher: p.Cipher, Nonce: p.Nonce, Tag: p.Tag})
 				if err != nil {
+					if in.qt != nil {
+						in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:rejected", float64(in.sim.Now()))
+					}
 					return
 				}
 				in.assembled[self][t].Add(topology.NodeID(p.Src), share)
+				if in.qt != nil {
+					in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:assembled", float64(in.sim.Now()))
+				}
 			case packet.KindAggregate:
 				t := colorTree(p.Color)
 				if t < 0 || t >= in.Cfg.Trees {
@@ -681,6 +759,7 @@ func (in *Instance) installReceivers(round uint16) {
 				if self == 0 {
 					in.bsSum[t] += p.Value
 					in.bsCount[t] += p.Count
+					in.noteAggArrival(self, p)
 					return
 				}
 				if in.TreeOf[self] != t {
@@ -688,6 +767,7 @@ func (in *Instance) installReceivers(round uint16) {
 				}
 				in.childSum[self] += p.Value
 				in.childCount[self] += p.Count
+				in.noteAggArrival(self, p)
 			}
 		}
 	}
@@ -720,10 +800,23 @@ func (in *Instance) sendAggregate(round uint16, id topology.NodeID) {
 	if parent == topology.None {
 		return
 	}
-	in.mac.Send(id, &packet.Packet{
+	pkt := packet.Packet{
 		Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(parent), Round: round},
 		Value:  value,
 		Count:  in.childCount[id] + 1,
 		Color:  treeColor(t),
-	})
+	}
+	if in.qt != nil {
+		agg := in.qt.Start(uint32(round), in.roundSpan, int32(id), aggSpanNames[t], float64(in.sim.Now()))
+		in.qt.SetPeer(agg, int32(parent))
+		if int(id) < len(in.pendingAgg) {
+			for _, child := range in.pendingAgg[id] {
+				in.qt.SetParent(child, agg)
+			}
+			in.pendingAgg[id] = in.pendingAgg[id][:0]
+		}
+		pkt.TraceQ = round
+		pkt.TraceSpan = uint32(agg)
+	}
+	in.mac.Send(id, &pkt)
 }

@@ -264,6 +264,62 @@ func (h Histogram) Observe(v float64) {
 	h.s.count++
 }
 
+// ExpBuckets returns n exponentially growing histogram upper bounds:
+// base, base·factor, base·factor², … — the standard shape for latency
+// distributions, whose tails span orders of magnitude. base must be
+// positive and factor > 1.
+func ExpBuckets(base, factor float64, n int) []float64 {
+	if base <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%v, %v, %d) invalid", base, factor, n))
+	}
+	out := make([]float64, n)
+	b := base
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram from its
+// upper bounds and per-bucket counts (counts[len(bounds)] is the overflow
+// bucket), interpolating linearly within the selected bucket the way
+// Prometheus' histogram_quantile does. It returns 0 for an empty
+// histogram and the highest finite bound when the quantile lands in the
+// overflow bucket.
+func Quantile(bounds []float64, counts []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Sample is one series in a Snapshot.
 type Sample struct {
 	Name   string
@@ -272,6 +328,12 @@ type Sample struct {
 	// Count is the observation count for histogram series (0 otherwise);
 	// Value carries the sum.
 	Count uint64
+	// Bounds and BucketCounts expose a histogram series' distribution
+	// (nil otherwise): BucketCounts[i] observations fell at or below
+	// Bounds[i], BucketCounts[len(Bounds)] is the overflow bucket. Both
+	// alias registry storage — snapshot consumers must not mutate them.
+	Bounds       []float64
+	BucketCounts []uint64
 }
 
 // Snapshot returns every series' current value, families sorted by name
@@ -295,6 +357,8 @@ func (r *Registry) Snapshot() []Sample {
 			if fam.typ == TypeHistogram {
 				smp.Value = s.sum
 				smp.Count = s.count
+				smp.Bounds = fam.bounds
+				smp.BucketCounts = s.buckets
 			}
 			out = append(out, smp)
 		}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromRoundTripEscapedLabels pins that label values containing the
+// three characters the text format escapes — double quote, backslash,
+// and newline — survive WriteProm → ParseProm: the export stays
+// one-line-per-sample and the parser recovers every sample keyed by the
+// escaped (as-written) label set.
+func TestPromRoundTripEscapedLabels(t *testing.T) {
+	cases := []struct {
+		name  string
+		value string // raw label value
+	}{
+		{"quote", `say "hi"`},
+		{"backslash", `C:\temp\x`},
+		{"newline", "line one\nline two"},
+		{"trailing_backslash", `ends with \`},
+		{"all_three", "a\"b\\c\nd"},
+		{"comma_and_brace", `a,b}c{d`},
+		{"spaces", `x y z`},
+	}
+	reg := NewRegistry()
+	for i, c := range cases {
+		reg.Counter("prom_escape_test_total", "escape round-trip", Label{Name: "v", Value: c.value}).Add(float64(i + 1))
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Every sample must stay on its own line: 2 comment lines + N samples.
+	if got := strings.Count(buf.String(), "\n"); got != 2+len(cases) {
+		t.Fatalf("expected %d lines, got %d:\n%s", 2+len(cases), got, buf.String())
+	}
+	parsed, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, buf.String())
+	}
+	if len(parsed) != len(cases) {
+		t.Fatalf("parsed %d samples, want %d: %v", len(parsed), len(cases), parsed)
+	}
+	for i, c := range cases {
+		key := `prom_escape_test_total{v="` + escapeLabel(c.value) + `"}`
+		got, ok := parsed[key]
+		if !ok {
+			t.Fatalf("case %s: key %q missing from %v", c.name, key, parsed)
+		}
+		if got != float64(i+1) {
+			t.Fatalf("case %s: value %v, want %d", c.name, got, i+1)
+		}
+	}
+}
+
+// TestPromRoundTripNonFiniteValues pins that +Inf, -Inf, and NaN sample
+// values render in the exposition format and parse back.
+func TestPromRoundTripNonFiniteValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("prom_nonfinite", "non-finite values", Label{Name: "k", Value: "pinf"}).Set(math.Inf(1))
+	reg.Gauge("prom_nonfinite", "non-finite values", Label{Name: "k", Value: "ninf"}).Set(math.Inf(-1))
+	reg.Gauge("prom_nonfinite", "non-finite values", Label{Name: "k", Value: "nan"}).Set(math.NaN())
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{" +Inf\n", " -Inf\n", " NaN\n"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("export missing %q:\n%s", want, buf.String())
+		}
+	}
+	parsed, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, buf.String())
+	}
+	if v := parsed[`prom_nonfinite{k="pinf"}`]; !math.IsInf(v, 1) {
+		t.Fatalf("+Inf lost: %v", v)
+	}
+	if v := parsed[`prom_nonfinite{k="ninf"}`]; !math.IsInf(v, -1) {
+		t.Fatalf("-Inf lost: %v", v)
+	}
+	if v := parsed[`prom_nonfinite{k="nan"}`]; !math.IsNaN(v) {
+		t.Fatalf("NaN lost: %v", v)
+	}
+}
+
+// TestPromHistogramInfBucketParses pins that the implicit le="+Inf"
+// bucket of a histogram export parses (its label value is a non-finite
+// rendered float, an easy corner to break in a hand-rolled parser).
+func TestPromHistogramInfBucketParses(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("prom_rt_latency", "latency", ExpBuckets(0.001, 4, 4))
+	h.Observe(0.002)
+	h.Observe(10) // overflow bucket
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, buf.String())
+	}
+	if v := parsed[`prom_rt_latency_bucket{le="+Inf"}`]; v != 2 {
+		t.Fatalf("+Inf bucket = %v, want 2\n%s", v, buf.String())
+	}
+	if v := parsed["prom_rt_latency_count"]; v != 2 {
+		t.Fatalf("count = %v, want 2", v)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on factor <= 1")
+		}
+	}()
+	ExpBuckets(1, 1, 3)
+}
+
+func TestQuantile(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	// 10 observations uniformly in the (2, 4] bucket.
+	counts := []uint64{0, 0, 10, 0, 0}
+	if q := Quantile(bounds, counts, 0.5); q != 3 {
+		t.Fatalf("median = %v, want 3 (midpoint of (2,4])", q)
+	}
+	if q := Quantile(bounds, counts, 1); q != 4 {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+	// Overflow bucket clamps to the highest finite bound.
+	if q := Quantile(bounds, []uint64{0, 0, 0, 0, 5}, 0.99); q != 8 {
+		t.Fatalf("overflow quantile = %v, want 8", q)
+	}
+	if q := Quantile(bounds, []uint64{0, 0, 0, 0, 0}, 0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+// TestSnapshotExposesHistogramBuckets pins that Snapshot carries a
+// histogram's bounds and per-bucket counts for programmatic consumers
+// (the harness quantile summaries).
+func TestSnapshotExposesHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("snap_hist", "x", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	var smp *Sample
+	for i, s := range reg.Snapshot() {
+		if s.Name == "snap_hist" {
+			smp = &reg.Snapshot()[i]
+		}
+	}
+	if smp == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(smp.Bounds) != 2 || len(smp.BucketCounts) != 3 {
+		t.Fatalf("bounds/buckets: %v %v", smp.Bounds, smp.BucketCounts)
+	}
+	if smp.BucketCounts[0] != 1 || smp.BucketCounts[1] != 1 || smp.BucketCounts[2] != 1 {
+		t.Fatalf("bucket counts: %v", smp.BucketCounts)
+	}
+	if smp.Count != 3 {
+		t.Fatalf("count = %d", smp.Count)
+	}
+}

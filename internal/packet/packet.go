@@ -97,6 +97,18 @@ type Header struct {
 	Dst   int32  // receiving node, or Broadcast
 	Round uint16 // protocol round
 	Seq   uint16 // MAC sequence number (set by the MAC; ACKs echo it)
+
+	// TraceQ and TraceSpan are the in-band trace context (see
+	// internal/qtrace): the query ID and the sender-side span reference
+	// this frame causally belongs to. Both are always encoded so frame
+	// layouts never depend on whether tracing is enabled; an untraced
+	// frame carries zeroes. The context rides inside the PhysOverhead
+	// byte budget (real radios carry comparable metadata in the framing
+	// already modeled there), so Size() — and therefore airtime,
+	// collisions, and every byte-accounted table — is identical with
+	// tracing on or off.
+	TraceQ    uint16
+	TraceSpan uint32
 }
 
 // Packet is one over-the-air frame. Only the fields relevant to Kind are
@@ -129,6 +141,13 @@ const (
 	PhysOverhead = 11
 	headerSize   = 1 + 4 + 4 + 2 + 2 // kind + src + dst + round + seq
 
+	// traceCtxSize is the encoded trace context (TraceQ + TraceSpan). It
+	// is accounted against PhysOverhead, not added to Size: the modeled
+	// physical framing already budgets 11 bytes of non-protocol
+	// metadata, 6 of which the simulator uses to carry the context.
+	traceCtxSize   = 2 + 4
+	wireHeaderSize = headerSize + traceCtxSize
+
 	helloBody     = 1 + 2         // color + hop
 	queryBody     = 1             // func
 	sliceBody     = 8 + 4 + 4 + 1 // cipher + nonce + tag + color
@@ -136,7 +155,10 @@ const (
 	ackBody       = 0
 )
 
-// Size returns the on-air length of the packet in bytes.
+// Size returns the on-air length of the packet in bytes. The trace
+// context does not contribute: it occupies part of the PhysOverhead
+// budget (see traceCtxSize), keeping byte accounting independent of
+// tracing.
 func (p *Packet) Size() int {
 	body := 0
 	switch p.Kind {
@@ -154,15 +176,16 @@ func (p *Packet) Size() int {
 	return PhysOverhead + headerSize + body
 }
 
-// Marshal encodes p into a fresh byte slice of exactly Size()-PhysOverhead
-// bytes (the physical-layer overhead carries no protocol data).
+// Marshal encodes p into a fresh byte slice of exactly
+// Size()-PhysOverhead+traceCtxSize bytes (the trace context is carried
+// in bytes already charged to the physical-layer overhead).
 func (p *Packet) Marshal() []byte {
-	return p.AppendEncode(make([]byte, 0, p.Size()-PhysOverhead))
+	return p.AppendEncode(make([]byte, 0, p.Size()-PhysOverhead+traceCtxSize))
 }
 
-// AppendEncode appends p's wire encoding (Size()-PhysOverhead bytes) to buf
-// and returns the extended slice. Encoding into a reused buffer with enough
-// capacity performs no allocation, which is how the MAC recycles one frame
+// AppendEncode appends p's wire encoding to buf and returns the
+// extended slice. Encoding into a reused buffer with enough capacity
+// performs no allocation, which is how the MAC recycles one frame
 // buffer per node across sends.
 func (p *Packet) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(p.Kind))
@@ -170,6 +193,8 @@ func (p *Packet) AppendEncode(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Dst))
 	buf = binary.BigEndian.AppendUint16(buf, p.Round)
 	buf = binary.BigEndian.AppendUint16(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint16(buf, p.TraceQ)
+	buf = binary.BigEndian.AppendUint32(buf, p.TraceSpan)
 	switch p.Kind {
 	case KindHello:
 		buf = append(buf, byte(p.Color))
@@ -206,6 +231,17 @@ func FrameKind(frame []byte) Kind {
 	return k
 }
 
+// FrameTraceSpan peeks at the sender-side span reference of an encoded
+// frame without decoding the rest — the zero-cost classifier the radio
+// uses to attribute airtime and energy to the causing span. Returns 0
+// (the null reference) for untraced or truncated frames.
+func FrameTraceSpan(frame []byte) uint32 {
+	if len(frame) < wireHeaderSize {
+		return 0
+	}
+	return binary.BigEndian.Uint32(frame[15:19])
+}
+
 // Unmarshal decodes a frame produced by Marshal.
 func Unmarshal(data []byte) (*Packet, error) {
 	p := &Packet{}
@@ -220,7 +256,7 @@ func Unmarshal(data []byte) (*Packet, error) {
 // hot receive paths can decode into a scratch Packet.
 func DecodeFrame(p *Packet, data []byte) error {
 	*p = Packet{}
-	if len(data) < headerSize {
+	if len(data) < wireHeaderSize {
 		return fmt.Errorf("packet: frame too short (%d bytes)", len(data))
 	}
 	p.Kind = Kind(data[0])
@@ -228,7 +264,9 @@ func DecodeFrame(p *Packet, data []byte) error {
 	p.Dst = int32(binary.BigEndian.Uint32(data[5:9]))
 	p.Round = binary.BigEndian.Uint16(data[9:11])
 	p.Seq = binary.BigEndian.Uint16(data[11:13])
-	body := data[headerSize:]
+	p.TraceQ = binary.BigEndian.Uint16(data[13:15])
+	p.TraceSpan = binary.BigEndian.Uint32(data[15:19])
+	body := data[wireHeaderSize:]
 	need := func(n int) error {
 		if len(body) < n {
 			return fmt.Errorf("packet: %v body truncated: %d < %d", p.Kind, len(body), n)

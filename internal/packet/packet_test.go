@@ -35,8 +35,8 @@ func TestColorOther(t *testing.T) {
 func roundTrip(t *testing.T, p *Packet) *Packet {
 	t.Helper()
 	data := p.Marshal()
-	if len(data) != p.Size()-PhysOverhead {
-		t.Fatalf("%v: marshal length %d, Size-PhysOverhead %d", p.Kind, len(data), p.Size()-PhysOverhead)
+	if len(data) != p.Size()-PhysOverhead+traceCtxSize {
+		t.Fatalf("%v: marshal length %d, Size-PhysOverhead+ctx %d", p.Kind, len(data), p.Size()-PhysOverhead+traceCtxSize)
 	}
 	q, err := Unmarshal(data)
 	if err != nil {
@@ -145,7 +145,7 @@ func TestRoundTripProperty(t *testing.T) {
 		color := Color(colorRaw % 3) // NoColor, Red, Blue
 		for _, kind := range []Kind{KindHello, KindQuery, KindSlice, KindAggregate, KindAck} {
 			p := &Packet{
-				Header: Header{Kind: kind, Src: src, Dst: dst, Round: round},
+				Header: Header{Kind: kind, Src: src, Dst: dst, Round: round, TraceQ: round, TraceSpan: nonce},
 				Color:  color,
 				Hop:    uint16(nonce),
 				Func:   uint8(tag),
@@ -250,6 +250,37 @@ func TestDecodeFrameMatchesUnmarshal(t *testing.T) {
 	}
 	if err := DecodeFrame(&got, frame[:3]); err == nil {
 		t.Fatal("truncated frame decoded")
+	}
+}
+
+// TestTraceContext pins the in-band trace context: always encoded,
+// recoverable by the FrameTraceSpan peek, and invisible to Size (the
+// context rides in the PhysOverhead budget, so byte accounting cannot
+// depend on whether a frame is traced).
+func TestTraceContext(t *testing.T) {
+	p := &Packet{Header: Header{Kind: KindAggregate, Src: 3, Dst: 4, Round: 2}}
+	plain := p.Size()
+	frame := p.Marshal()
+	if FrameTraceSpan(frame) != 0 {
+		t.Fatalf("untraced frame span = %d", FrameTraceSpan(frame))
+	}
+	p.TraceQ, p.TraceSpan = 2, 0xCAFED00D
+	if p.Size() != plain {
+		t.Fatalf("Size changed with trace context: %d vs %d", p.Size(), plain)
+	}
+	frame = p.Marshal()
+	if got := FrameTraceSpan(frame); got != 0xCAFED00D {
+		t.Fatalf("FrameTraceSpan = %#x", got)
+	}
+	if FrameTraceSpan(frame[:wireHeaderSize-1]) != 0 {
+		t.Fatal("truncated frame yielded a span ref")
+	}
+	q, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TraceQ != 2 || q.TraceSpan != 0xCAFED00D {
+		t.Fatalf("context lost in round trip: %+v", q.Header)
 	}
 }
 

@@ -1,0 +1,166 @@
+package qtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNilTracerIsSafe pins the disabled-datapath contract: every method
+// must be a no-op through a nil receiver.
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	ref := tr.Start(1, None, 3, "x", 0)
+	if ref != None {
+		t.Fatalf("nil Start returned %d", ref)
+	}
+	tr.End(ref, 1)
+	tr.SetParent(ref, 2)
+	tr.SetPeer(ref, 4)
+	tr.SetValue(ref, 5)
+	tr.AddAir(ref, 0.1, 32)
+	tr.AddRetry(ref)
+	tr.AddBackoff(ref)
+	tr.AddDrop(ref)
+	tr.AddJoules(ref, 1e-6)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteJSONL: %v, %q", err, buf.String())
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	tr := New(0)
+	root := tr.Start(1, None, -1, "round", 0)
+	tx := tr.Start(1, root, 7, "slice", 0.5)
+	tr.SetPeer(tx, 9)
+	tr.AddAir(tx, 0.01, 40)
+	tr.AddAir(tx, 0.01, 40)
+	tr.AddRetry(tx)
+	tr.AddBackoff(tx)
+	tr.AddJoules(tx, 8e-5)
+	tr.End(tx, 0.9)
+	tr.End(tx, 0.7) // End never shrinks
+	s := tr.Spans()[1]
+	if s.Parent != uint32(root) || s.Peer != 9 || s.Frames != 2 || s.Bytes != 80 ||
+		s.Retries != 1 || s.Backoffs != 1 || s.Airtime != 0.02 || s.End != 0.9 {
+		t.Fatalf("attribution wrong: %+v", s)
+	}
+	// Attribution against None and out-of-range refs is ignored.
+	tr.AddAir(None, 1, 1)
+	tr.AddAir(Ref(99), 1, 1)
+	if tr.Spans()[0].Frames != 0 {
+		t.Fatal("misdirected attribution")
+	}
+}
+
+func TestLimitAndDropped(t *testing.T) {
+	tr := New(2)
+	tr.Start(1, None, 0, "a", 0)
+	tr.Start(1, None, 0, "b", 0)
+	if ref := tr.Start(1, None, 0, "c", 0); ref != None {
+		t.Fatalf("over-limit Start returned %d", ref)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	st := NewStore(4)
+	tr := st.Trial("fig7", 1, 2).Tracer("l1")
+	r := tr.Start(3, None, -1, "round", 0)
+	tr.Start(3, r, 5, "slice", 0.25)
+	for i := 0; i < 4; i++ {
+		tr.Start(3, r, 0, "x", 0) // overflow the limit
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines, dropped, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 || dropped != 2 {
+		t.Fatalf("lines=%d dropped=%d", len(lines), dropped)
+	}
+	if lines[0].Sweep != "fig7" || lines[0].Point != 1 || lines[0].Trial != 2 || lines[0].Slot != "l1" {
+		t.Fatalf("coordinates lost: %+v", lines[0])
+	}
+	if lines[1].Name != "slice" || lines[1].Parent != uint32(r) || lines[1].Node != 5 {
+		t.Fatalf("span lost: %+v", lines[1])
+	}
+}
+
+func TestStoreExportDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		st := NewStore(0)
+		for _, p := range order {
+			tr := st.Trial("s", p, 0).Tracer("a")
+			tr.Start(uint32(p), None, int32(p), "round", float64(p))
+		}
+		var buf bytes.Buffer
+		if err := st.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build([]int{0, 1, 2}) != build([]int{2, 0, 1}) {
+		t.Fatal("export depends on creation order")
+	}
+}
+
+func TestTextAndHealth(t *testing.T) {
+	tr := New(0)
+	round := tr.Start(1, None, -1, "round", 0)
+	dead := tr.Instant(1, round, -1, "tree:dead", 0)
+	tr.SetValue(dead, 3)
+	verify := tr.Start(1, round, 0, "verify:accepted", 9)
+	a1 := tr.Start(1, verify, 4, "aggregate:red", 7)
+	tr.AddAir(a1, 0.01, 24)
+	tr.AddRetry(a1)
+	tr.End(a1, 8)
+	a2 := tr.Start(1, a1, 11, "aggregate:red", 5)
+	tr.AddAir(a2, 0.01, 24)
+	tr.End(a2, 6)
+
+	var txt bytes.Buffer
+	if err := WriteText(&txt, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "round") || !strings.Contains(txt.String(), "  verify:accepted") {
+		t.Fatalf("text tree:\n%s", txt.String())
+	}
+
+	hs := Analyze(tr.Spans())
+	if len(hs) != 1 {
+		t.Fatalf("rounds=%d", len(hs))
+	}
+	h := hs[0]
+	if h.Verdict != "accepted" || h.Dead != 3 {
+		t.Fatalf("health: %+v", h)
+	}
+	if len(h.Subtrees) != 1 {
+		t.Fatalf("subtrees: %+v", h.Subtrees)
+	}
+	st := h.Subtrees[0]
+	if st.Root != 4 || st.Tree != "red" || st.Nodes != 2 || st.Frames != 2 || st.Retries != 1 {
+		t.Fatalf("subtree rollup: %+v", st)
+	}
+	// Critical path: verify -> a1 (End 8) -> a2 (End 6).
+	if len(h.CriticalPath) != 3 || h.CriticalPath[1].Node != 4 || h.CriticalPath[2].Node != 11 {
+		t.Fatalf("critical path: %+v", h.CriticalPath)
+	}
+
+	var chrome bytes.Buffer
+	if err := WriteChromeTrace(&chrome, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"traceEvents"`) {
+		t.Fatalf("chrome trace:\n%s", chrome.String())
+	}
+}

@@ -1,0 +1,81 @@
+package qtrace
+
+import "sync"
+
+// Store collects the tracers of a whole sweep, keyed by (sweep, point,
+// trial) and, within a trial, by a caller-chosen slot name ("l1", "l2",
+// "tag", "region/3", ...). It is the only concurrency-aware type in the
+// package: harness workers and shard workers mint tracers through the
+// store's mutex, then each tracer is owned by exactly one goroutine.
+// The nil *Store disables collection — Trial returns nil, and the nil
+// *TrialTraces hands out nil tracers.
+type Store struct {
+	// Limit is the per-tracer span limit (0 means DefaultLimit).
+	Limit int
+
+	mu     sync.Mutex
+	trials map[trialKey]*TrialTraces
+}
+
+type trialKey struct {
+	Sweep string
+	Point int
+	Trial int
+}
+
+// NewStore returns an empty store with the given per-tracer limit.
+func NewStore(limit int) *Store {
+	return &Store{Limit: limit}
+}
+
+// Trial returns the trace bundle for one (sweep, point, trial), creating
+// it on first use. Safe for concurrent use; nil store returns nil.
+func (s *Store) Trial(sweep string, point, trial int) *TrialTraces {
+	if s == nil {
+		return nil
+	}
+	key := trialKey{Sweep: sweep, Point: point, Trial: trial}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trials == nil {
+		s.trials = make(map[trialKey]*TrialTraces)
+	}
+	tt := s.trials[key]
+	if tt == nil {
+		tt = &TrialTraces{limit: s.Limit}
+		s.trials[key] = tt
+	}
+	return tt
+}
+
+// TrialTraces is one trial's set of tracers, keyed by slot. Tracer is
+// safe for concurrent use (shard workers of one trial mint per-region
+// tracers in parallel); each returned *Tracer then belongs to a single
+// goroutine, exactly like a protocol instance.
+type TrialTraces struct {
+	limit int
+
+	mu    sync.Mutex
+	slots map[string]*Tracer
+}
+
+// Tracer returns slot's tracer, creating it on first use. A nil bundle
+// returns the nil (disabled) tracer, so callers wire unconditionally:
+//
+//	cfg.QTrace = tr.QTrace.Tracer("l1")
+func (tt *TrialTraces) Tracer(slot string) *Tracer {
+	if tt == nil {
+		return nil
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if tt.slots == nil {
+		tt.slots = make(map[string]*Tracer)
+	}
+	t := tt.slots[slot]
+	if t == nil {
+		t = New(tt.limit)
+		tt.slots[slot] = t
+	}
+	return t
+}

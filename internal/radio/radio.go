@@ -32,6 +32,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 )
@@ -80,6 +81,8 @@ type Medium struct {
 	lossRand  *rng.Stream
 	obs       *mediumObs
 	txHook    TxHook
+	qt        *qtrace.Tracer
+	qtModel   energy.Model // per-byte joule attribution for traced frames
 }
 
 // mediumObs holds the medium's pre-resolved instrument handles, indexed
@@ -118,6 +121,16 @@ func (m *Medium) SetObs(sink *obs.Sink) {
 		mo.dropBytes[k] = sink.Reg.Counter("ipda_radio_drop_bytes_total", "bytes of addressed receptions lost in the air", kl)
 	}
 	m.obs = mo
+}
+
+// SetQTrace attaches a query tracer: every native transmission carrying
+// a trace context gets its airtime, bytes, and energy (tx plus the rx
+// cost of every audible reception, under model's per-byte rates)
+// attributed to the causing span. Tracing only reads medium state; the
+// disabled path is one nil check per frame.
+func (m *Medium) SetQTrace(t *qtrace.Tracer, model energy.Model) {
+	m.qt = t
+	m.qtModel = model
 }
 
 // reception is one neighbor's view of a frame in flight. Receptions live
@@ -199,6 +212,7 @@ func (m *Medium) Reset(net *topology.Network) {
 	m.lossRand = nil
 	m.obs = nil
 	m.txHook = nil
+	m.qt = nil
 }
 
 func resizeReceivers(s []Receiver, n int) []Receiver {
@@ -343,6 +357,12 @@ func (m *Medium) transmit(src topology.NodeID, dst int32, frame []byte, size int
 			m.obs.txFrames[k].Inc()
 			m.obs.txBytes[k].Add(float64(size))
 		}
+		if m.qt != nil {
+			if span := qtrace.Ref(packet.FrameTraceSpan(frame)); span != qtrace.None {
+				m.qt.AddAir(span, float64(dur), size)
+				m.qt.AddJoules(span, float64(size)*m.qtModel.TxPerByte)
+			}
+		}
 		if m.txHook != nil {
 			m.txHook(src, dst, frame, size)
 		}
@@ -410,6 +430,11 @@ func (m *Medium) finish(tx *transmission) {
 		}
 		if m.meter != nil {
 			m.meter.ChargeRx(nb, tx.size)
+		}
+		if m.qt != nil {
+			if span := qtrace.Ref(packet.FrameTraceSpan(tx.frame)); span != qtrace.None {
+				m.qt.AddJoules(span, float64(tx.size)*m.qtModel.RxPerByte)
+			}
 		}
 		addressed := tx.dst == topology.NodeID(packet.Broadcast) || tx.dst == nb
 		for _, tap := range m.taps {

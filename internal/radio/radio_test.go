@@ -433,6 +433,28 @@ func BenchmarkTransmitDenseObs(b *testing.B) {
 	}
 }
 
+// BenchmarkTransmitDenseQTraceDisabled is BenchmarkTransmitDense with
+// the query-tracing hook explicitly cleared: the disabled-trace transmit
+// hot path is one pointer check per frame and must stay at 0 allocs/op
+// (benchgate pins this against BENCH_fig7.json's gates map).
+func BenchmarkTransmitDenseQTraceDisabled(b *testing.B) {
+	net, err := topology.Random(topology.PaperConfig(400), rng.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := eventsim.New()
+	m := New(sim, net, PaperRate)
+	m.SetQTrace(nil, energy.DefaultModel())
+	frame := make([]byte, 21)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := topology.NodeID(i % net.N())
+		m.Transmit(src, packet.Broadcast, frame, 32)
+		sim.RunAll()
+	}
+}
+
 func TestOutOfRangeNoDelivery(t *testing.T) {
 	// Two isolated nodes: craft with a sparse grid (spacing > range).
 	net, err := topology.Grid(2, 200, 50)

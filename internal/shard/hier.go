@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
 	"github.com/ipda-sim/ipda/internal/world"
@@ -127,7 +128,12 @@ func (o HierOutcome) Diff() int64 {
 // sub-arena of arena, so sharding composes with world reuse without
 // cross-goroutine state. root supplies the per-region seeds, derived by
 // region index before any parallelism starts.
-func RunHier(plan *Plan, cfg core.Config, root *rng.Stream, shards int, arena *world.Arena) (HierOutcome, error) {
+//
+// traces, when non-nil, collects each region's query trace under the slot
+// "region/<r>". Slots are keyed by region index — never by worker — and
+// minted through the bundle's mutex, so the exported trace is
+// byte-identical for every shards value.
+func RunHier(plan *Plan, cfg core.Config, root *rng.Stream, shards int, arena *world.Arena, traces *qtrace.TrialTraces) (HierOutcome, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -167,7 +173,11 @@ func RunHier(plan *Plan, cfg core.Config, root *rng.Stream, shards int, arena *w
 		o.ran = true
 		sub := subs[w]
 		net := sub.Induced(plan.Part.Net, members)
-		inst, err := sub.Core("shard/hier", net, cfg, seeds[r])
+		rcfg := cfg
+		if traces != nil {
+			rcfg.QTrace = traces.Tracer(fmt.Sprintf("region/%d", r))
+		}
+		inst, err := sub.Core("shard/hier", net, rcfg, seeds[r])
 		if err != nil {
 			o.err = fmt.Errorf("shard: region %d: %w", r, err)
 			return

@@ -244,12 +244,12 @@ func TestHierShardIndependence(t *testing.T) {
 	if plan.Part.R() < 2 {
 		t.Fatalf("plan has %d regions, want >= 2", plan.Part.R())
 	}
-	want, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), 1, nil)
+	want, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), 1, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, shards := range []int{2, 4, 8} {
-		got, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), shards, nil)
+		got, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), shards, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -259,7 +259,7 @@ func TestHierShardIndependence(t *testing.T) {
 	}
 	arena := world.New()
 	for trial := 0; trial < 2; trial++ {
-		got, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), 4, arena)
+		got, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), 4, arena, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -274,7 +274,7 @@ func TestHierShardIndependence(t *testing.T) {
 func TestHierSanity(t *testing.T) {
 	net := hierNet(t)
 	plan := NewPlan(net, 4)
-	out, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), 4, nil)
+	out, err := RunHier(plan, core.DefaultConfig(), rng.New(2024).Split(2), 4, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,11 +13,13 @@ import (
 	"fmt"
 
 	"github.com/ipda-sim/ipda/internal/aggregate"
+	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/packet"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/radio"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -37,6 +39,9 @@ type Config struct {
 	AggSlot eventsim.Time
 	// Obs is the optional instrumentation sink (see core.Config.Obs).
 	Obs *obs.Sink
+	// QTrace is the optional causal per-query tracer (see
+	// core.Config.QTrace); nil disables tracing and never changes a run.
+	QTrace *qtrace.Tracer
 }
 
 // DefaultConfig returns parameters matched to the iPDA defaults so byte
@@ -69,6 +74,14 @@ type Instance struct {
 	contribs  []int64
 	handlerFn mac.Handler
 	sendFree  []*sendEvent
+
+	// Query-tracing state (see core.Instance): the round root span, the
+	// per-node child aggregate spans awaiting re-parenting, and the last
+	// base-station arrival (tracked unconditionally for Outcome.Latency).
+	qt            *qtrace.Tracer
+	roundSpan     qtrace.Ref
+	pendingAgg    [][]qtrace.Ref
+	lastBSArrival eventsim.Time
 }
 
 // sendEvent is a pooled deferred partial-aggregate send; fire is built
@@ -141,6 +154,10 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 		in.Medium.SetObs(cfg.Obs)
 		in.MAC.SetObs(cfg.Obs)
 	}
+	in.qt = cfg.QTrace
+	in.Medium.SetQTrace(cfg.QTrace, energy.DefaultModel())
+	in.MAC.SetQTrace(cfg.QTrace)
+	in.roundSpan = qtrace.None
 	buildStart := float64(in.Sim.Now())
 	tr := in.builder.Build(in.Sim, in.Medium, in.MAC, net, cfg.TreeDeadline)
 	if cfg.Obs != nil {
@@ -180,6 +197,10 @@ type Outcome struct {
 	Participants int
 	Bytes        uint64
 	Frames       uint64
+	// Latency is the round's completion latency: the last partial
+	// aggregate folded at the base station, measured from the epoch's
+	// start (0 if nothing arrived). Tracked unconditionally.
+	Latency float64
 }
 
 // Result reports one full TAG query.
@@ -267,6 +288,16 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 	in.childSum = resizeCleared(in.childSum, n)
 	in.childCount = resizeCleared(in.childCount, n)
 	in.sent = resizeCleared(in.sent, n)
+	in.lastBSArrival = in.Sim.Now()
+	if in.qt != nil {
+		if cap(in.pendingAgg) < n {
+			in.pendingAgg = append(in.pendingAgg[:cap(in.pendingAgg)], make([][]qtrace.Ref, n-cap(in.pendingAgg))...)
+		}
+		in.pendingAgg = in.pendingAgg[:n]
+		for i := range in.pendingAgg {
+			in.pendingAgg[i] = in.pendingAgg[i][:0]
+		}
+	}
 
 	// One dispatch closure serves every node and every round: in.round is
 	// constant while a round's events drain, so filtering on it matches the
@@ -278,6 +309,15 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 			}
 			in.childSum[self] += p.Value
 			in.childCount[self] += p.Count
+			if self == 0 {
+				in.lastBSArrival = in.Sim.Now()
+			}
+			if in.qt != nil {
+				in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "aggregate:rx", float64(in.Sim.Now()))
+				if int(self) < len(in.pendingAgg) {
+					in.pendingAgg[self] = append(in.pendingAgg[self], qtrace.Ref(p.TraceSpan))
+				}
+			}
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -295,6 +335,10 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 		}
 	}
 	t0 := in.Sim.Now()
+	in.roundSpan = qtrace.None
+	if in.qt != nil {
+		in.roundSpan = in.qt.Start(uint32(round), qtrace.None, -1, "round", float64(t0))
+	}
 	for i := 1; i < n; i++ {
 		id := topology.NodeID(i)
 		if !in.Tree.Reached[id] || in.isDead(id) {
@@ -310,6 +354,9 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 	if in.Cfg.Obs != nil {
 		in.Cfg.Obs.Span(obs.TrackGlobal, "tag:epoch", float64(t0), float64(deadline), uint32(round))
 	}
+	if in.qt != nil {
+		in.qt.End(in.roundSpan, float64(deadline))
+	}
 	in.Sim.Run(deadline)
 
 	return Outcome{
@@ -318,6 +365,7 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 		Participants: participants,
 		Bytes:        in.Medium.TotalBytes() - startBytes,
 		Frames:       in.Medium.Stats().FramesSent - startFrames,
+		Latency:      float64(in.lastBSArrival - t0),
 	}
 }
 
@@ -336,11 +384,24 @@ func (in *Instance) getSendEvent() *sendEvent {
 
 func (in *Instance) fireSend(ev *sendEvent) {
 	id := ev.id
-	in.MAC.Send(id, &packet.Packet{
+	pkt := packet.Packet{
 		Header: packet.Header{Kind: packet.KindAggregate, Src: int32(id), Dst: int32(in.Tree.Parent[id]), Round: ev.round},
 		Value:  ev.contrib + in.childSum[id],
 		Count:  in.childCount[id] + 1,
-	})
+	}
+	if in.qt != nil {
+		agg := in.qt.Start(uint32(ev.round), in.roundSpan, int32(id), "aggregate:tag", float64(in.Sim.Now()))
+		in.qt.SetPeer(agg, int32(in.Tree.Parent[id]))
+		if int(id) < len(in.pendingAgg) {
+			for _, child := range in.pendingAgg[id] {
+				in.qt.SetParent(child, agg)
+			}
+			in.pendingAgg[id] = in.pendingAgg[id][:0]
+		}
+		pkt.TraceQ = ev.round
+		pkt.TraceSpan = uint32(agg)
+	}
+	in.MAC.Send(id, &pkt)
 	in.sendFree = append(in.sendFree, ev)
 }
 

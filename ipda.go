@@ -36,6 +36,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/mtree"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/privacy"
+	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -97,6 +98,13 @@ type Config struct {
 	// alters protocol behavior or results; read what was recorded through
 	// Network.Obs.
 	Observe bool
+	// TraceQueries attaches the causal per-query tracer: every query
+	// yields a span tree linking dissemination, slice exchange, per-node
+	// aggregation, MAC retries, and base-station verification, with
+	// per-span latency/airtime/energy attribution. Like Observe it never
+	// alters protocol behavior or results; read the trace through
+	// Network.QueryTrace.
+	TraceQueries bool
 }
 
 // DefaultConfig returns the paper's evaluation setup for the given number
@@ -220,6 +228,7 @@ type Network struct {
 	inst *core.Instance
 	eav  *attack.Eavesdropper
 	sink *obs.Sink
+	qt   *qtrace.Tracer
 }
 
 // Deploy places the nodes, builds the radio stack, and runs Phase I.
@@ -238,11 +247,16 @@ func Deploy(cfg Config) (*Network, error) {
 		sink = obs.NewSink()
 		ccfg.Obs = sink
 	}
+	var qt *qtrace.Tracer
+	if cfg.TraceQueries {
+		qt = qtrace.New(0)
+		ccfg.QTrace = qt
+	}
 	inst, err := core.New(topo, ccfg, cfg.Seed^0xa5a5a5a5)
 	if err != nil {
 		return nil, fmt.Errorf("ipda: %w", err)
 	}
-	return &Network{cfg: cfg, topo: topo, inst: inst, sink: sink}, nil
+	return &Network{cfg: cfg, topo: topo, inst: inst, sink: sink, qt: qt}, nil
 }
 
 // Size returns the number of nodes including the base station.
@@ -560,6 +574,50 @@ func (o *Observer) Spans() int { return o.sink.Spans.Len() }
 
 // DroppedSpans returns how many spans overflowed the recorder's limit.
 func (o *Observer) DroppedSpans() uint64 { return o.sink.Spans.Dropped() }
+
+// QueryTrace exposes the causal per-query trace a deployment recorded.
+// Obtain one from Network.QueryTrace after deploying with
+// Config.TraceQueries set.
+type QueryTrace struct {
+	t *qtrace.Tracer
+}
+
+// QueryTrace returns the network's query trace, or nil when the
+// deployment was not traced (Config.TraceQueries false).
+func (n *Network) QueryTrace() *QueryTrace {
+	if n.qt == nil {
+		return nil
+	}
+	return &QueryTrace{t: n.qt}
+}
+
+// Len returns the number of recorded spans.
+func (q *QueryTrace) Len() int { return q.t.Len() }
+
+// Dropped returns how many spans overflowed the tracer's limit.
+func (q *QueryTrace) Dropped() int { return q.t.Dropped() }
+
+// WriteJSONL emits the trace as JSON lines, one span per line, in a
+// deterministic order (see cmd/ipda-trace for querying the output).
+func (q *QueryTrace) WriteJSONL(w io.Writer) error { return q.t.WriteJSONL(w) }
+
+// WriteChromeTrace emits the trace as Chrome trace-event JSON loadable
+// in Perfetto (ui.perfetto.dev), one track per node.
+func (q *QueryTrace) WriteChromeTrace(w io.Writer) error {
+	return qtrace.WriteChromeTrace(w, q.t.Spans())
+}
+
+// WriteText renders the causal span tree as deterministic indented text.
+func (q *QueryTrace) WriteText(w io.Writer) error {
+	return qtrace.WriteText(w, q.t.Spans())
+}
+
+// WriteHealth renders the round-health analysis: per-round verdicts,
+// per-subtree contribution/loss attribution, and the per-hop critical
+// path to the base station.
+func (q *QueryTrace) WriteHealth(w io.Writer) error {
+	return qtrace.WriteHealth(w, q.t.Spans())
+}
 
 // Trace is a recorded protocol timeline (see EnableTrace).
 type Trace struct {

@@ -114,6 +114,26 @@ func BenchmarkShardScale(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingDay regenerates the continuous smart-metering
+// experiment at a CI-sized field: one 400-node deployment serving a full
+// 96-epoch day with the staggered SUM/AVG/VAR/MAX mix under churn with
+// repair — ~220 aggregation rounds over one amortized Phase I. Gated by
+// cmd/benchgate against BENCH_stream.json.
+func BenchmarkStreamingDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{
+			Sizes:   []int{400},
+			Trials:  1,
+			Seed:    uint64(i) + 1,
+			Workers: 1,
+		}
+		if _, err := experiments.Run("stream", o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Sweep-shape benchmarks: the same Figure-6-style workload (5 sizes × 2
 // trials, each trial one deployment plus one COUNT round) scheduled two
 // ways. Flattened is the harness's global (point × trial) queue; PerPoint

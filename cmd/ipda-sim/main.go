@@ -10,6 +10,8 @@
 //	ipda-sim -nodes 400 -eavesdrop 0.1        # measure disclosure
 //	ipda-sim -nodes 400 -compare              # also run the TAG baseline
 //	ipda-sim -nodes 400 -rounds 8 -churn 0.05 -repair   # churn + tree repair
+//	ipda-sim -nodes 400 -epochs 96 -repair    # streaming: a 24-hour metering day
+//	ipda-sim -nodes 400 -epochs 96 -interval 900 -churn 0.01 -repair
 //	ipda-sim -nodes 400 -kill 17,42 -repair   # scripted crashes before round 0
 //	ipda-sim -nodes 400 -metrics out.prom     # Prometheus metric snapshot
 //	ipda-sim -nodes 400 -spans round.trace.json  # Perfetto phase spans
@@ -44,6 +46,8 @@ func main() {
 		delta       = flag.Int64("delta", 1000, "pollution delta")
 		eavesdrop   = flag.Float64("eavesdrop", -1, "per-link compromise probability (-1 = off)")
 		rounds      = flag.Int("rounds", 1, "number of query rounds to run")
+		epochs      = flag.Int("epochs", 0, "streaming mode: run this many metering epochs with the standing day-query mix (0 = single-query mode)")
+		interval    = flag.Float64("interval", 900, "streaming mode: simulated seconds per epoch (900 = 15-minute metering intervals)")
 		churn       = flag.Float64("churn", 0, "per-round probability that each live node crashes")
 		churnRec    = flag.Float64("churn-recover", 0.25, "per-round probability that each dead node recovers")
 		kill        = flag.String("kill", "", "comma-separated node IDs crashed before round 0")
@@ -111,58 +115,75 @@ func main() {
 		fmt.Printf("attack:     node %d pollutes by %+d\n", *pollute, *delta)
 	}
 
-	kind, ok := map[string]ipda.Kind{
-		"count": ipda.Count, "sum": ipda.Sum, "average": ipda.Average,
-		"variance": ipda.Variance, "min": ipda.Min, "max": ipda.Max,
-	}[*query]
-	if !ok {
-		fail(fmt.Errorf("unknown query %q", *query))
-	}
-	readings := make([]int64, net.Size())
-	r := rng.New(*seed).SplitString("ipda-sim/readings")
-	for i := 1; i < len(readings); i++ {
-		readings[i] = *lo + r.Int64n(*hi-*lo+1)
-	}
-
 	if cfg.Faults != nil {
 		fmt.Printf("faults:     churn %.1f%%/round (recover %.1f%%), %d scripted kill(s), repair %v\n",
 			100*cfg.Faults.CrashRate, 100*cfg.Faults.RecoverRate, len(cfg.Faults.Events), cfg.Repair)
 	}
-	var res *ipda.QueryResult
-	accepted := 0
-	for round := 0; round < *rounds; round++ {
-		var err error
-		res, err = net.Query(kind, readings)
-		if err != nil {
-			fail(err)
-		}
-		if res.Accepted {
-			accepted++
-		}
-		if *rounds > 1 || cfg.Faults != nil {
-			verdict := "ACCEPTED"
-			if !res.Accepted {
-				verdict = "REJECTED"
-			}
-			fmt.Printf("round %-3d   %s |diff| %-4d dead %-3d skipped %-3d repaired %-3d contributors %d/%d\n",
-				round, verdict, abs(res.BlueSum-res.RedSum),
-				res.Dead, res.Skipped, res.Repaired, res.RedContributors, res.BlueContributors)
-		}
-	}
-	fmt.Printf("query %s:   red %d, blue %d, |diff| %d\n",
-		*query, res.RedSum, res.BlueSum, abs(res.BlueSum-res.RedSum))
-	if *rounds > 1 {
-		fmt.Printf("verdict:    %d/%d rounds accepted; last value = %.4g\n", accepted, *rounds, res.Value)
-	} else if res.Accepted {
-		fmt.Printf("verdict:    ACCEPTED, value = %.4g\n", res.Value)
-	} else {
-		fmt.Println("verdict:    REJECTED (integrity violation or heavy loss)")
-	}
-	fmt.Printf("traffic:    %d bytes on the air\n", res.Bytes)
 
-	if eav != nil {
-		fmt.Printf("eavesdrop:  p_x=%.3f disclosed %.2f%% of participant readings (theory %.3g)\n",
-			*eavesdrop, 100*eav.DisclosureRate(), ipda.TheoreticalDisclosure(*eavesdrop, *slices))
+	if *epochs > 0 {
+		runStream(net, *epochs, *interval)
+	} else {
+		kind, ok := map[string]ipda.Kind{
+			"count": ipda.Count, "sum": ipda.Sum, "average": ipda.Average,
+			"variance": ipda.Variance, "min": ipda.Min, "max": ipda.Max,
+		}[*query]
+		if !ok {
+			fail(fmt.Errorf("unknown query %q", *query))
+		}
+		readings := make([]int64, net.Size())
+		r := rng.New(*seed).SplitString("ipda-sim/readings")
+		for i := 1; i < len(readings); i++ {
+			readings[i] = *lo + r.Int64n(*hi-*lo+1)
+		}
+		var res *ipda.QueryResult
+		accepted := 0
+		for round := 0; round < *rounds; round++ {
+			var err error
+			res, err = net.Query(kind, readings)
+			if err != nil {
+				fail(err)
+			}
+			if res.Accepted {
+				accepted++
+			}
+			if *rounds > 1 || cfg.Faults != nil {
+				verdict := "ACCEPTED"
+				if !res.Accepted {
+					verdict = "REJECTED"
+				}
+				fmt.Printf("round %-3d   %s |diff| %-4d dead %-3d skipped %-3d repaired %-3d contributors %d/%d\n",
+					round, verdict, abs(res.BlueSum-res.RedSum),
+					res.Dead, res.Skipped, res.Repaired, res.RedContributors, res.BlueContributors)
+			}
+		}
+		fmt.Printf("query %s:   red %d, blue %d, |diff| %d\n",
+			*query, res.RedSum, res.BlueSum, abs(res.BlueSum-res.RedSum))
+		if *rounds > 1 {
+			fmt.Printf("verdict:    %d/%d rounds accepted; last value = %.4g\n", accepted, *rounds, res.Value)
+		} else if res.Accepted {
+			fmt.Printf("verdict:    ACCEPTED, value = %.4g\n", res.Value)
+		} else {
+			fmt.Println("verdict:    REJECTED (integrity violation or heavy loss)")
+		}
+		fmt.Printf("traffic:    %d bytes on the air\n", res.Bytes)
+
+		if eav != nil {
+			fmt.Printf("eavesdrop:  p_x=%.3f disclosed %.2f%% of participant readings (theory %.3g)\n",
+				*eavesdrop, 100*eav.DisclosureRate(), ipda.TheoreticalDisclosure(*eavesdrop, *slices))
+		}
+
+		if *compare {
+			tg, err := ipda.DeployTAG(cfg)
+			if err != nil {
+				fail(err)
+			}
+			tres, err := tg.Query(kind, readings)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("TAG:        value %.4g, %d bytes (iPDA/TAG byte ratio %.2f, analytic msg ratio %.2f)\n",
+				tres.Value, tres.Bytes, float64(res.Bytes)/float64(tres.Bytes), ipda.OverheadRatio(*slices))
+		}
 	}
 
 	if tr != nil {
@@ -192,19 +213,6 @@ func main() {
 		}
 		fmt.Printf("qtrace:     %d spans written to %s (%d dropped); inspect with ipda-trace\n",
 			q.Len(), *qtraceFile, q.Dropped())
-	}
-
-	if *compare {
-		tg, err := ipda.DeployTAG(cfg)
-		if err != nil {
-			fail(err)
-		}
-		tres, err := tg.Query(kind, readings)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("TAG:        value %.4g, %d bytes (iPDA/TAG byte ratio %.2f, analytic msg ratio %.2f)\n",
-			tres.Value, tres.Bytes, float64(res.Bytes)/float64(tres.Bytes), ipda.OverheadRatio(*slices))
 	}
 
 	if o := net.Obs(); o != nil {
@@ -253,6 +261,44 @@ func main() {
 			}
 		}
 	}
+}
+
+// runStream drives the continuous smart-metering pipeline: the standing
+// day-query mix (per-interval SUM, hourly AVG/VAR, 3-hour peak MAX) over
+// diurnal household profiles, one epoch per metering interval.
+func runStream(net *ipda.Network, epochs int, interval float64) {
+	eph := int(3600/interval + 0.5)
+	if eph < 1 {
+		eph = 1
+	}
+	res, err := net.RunStream(ipda.StreamConfig{
+		Epochs:   epochs,
+		Interval: interval,
+		Queries:  ipda.DayQueries(eph),
+		Readings: func(id, epoch int) int64 {
+			return ipda.DiurnalLoad(id, float64(epoch)*interval/3600)
+		},
+		Metered: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	noData := 0
+	var repaired int
+	for _, q := range res.Firings {
+		if q.NoData {
+			noData++
+		}
+		repaired += q.Repaired
+	}
+	fmt.Printf("stream:     %d epochs x %.0f s = %.1f h simulated, %d readings collected\n",
+		res.Epochs, interval, res.SimSeconds/3600, res.Readings)
+	fmt.Printf("firings:    %d total: %d accepted, %d rejected (%d with no data), %d repairs applied\n",
+		len(res.Firings), res.Accepted, res.Rejected, noData, repaired)
+	fmt.Printf("throughput: %.4g readings/s (simulated time)\n", res.ReadingsPerSecond)
+	fmt.Printf("energy:     %.4g J network total, %.4g uJ/reading (radio + idle)\n",
+		res.Joules, 1e6*res.JoulesPerReading)
+	fmt.Printf("rounds:     %d cumulative aggregation rounds, link-key era %d\n", res.Rounds, res.KeyEra)
 }
 
 func abs(v int64) int64 {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunDeterministic pins the example's output: two runs must render
+// byte-identical reports, the tampering replay must target the
+// evening-peak interval explicitly (the regression this test guards: the
+// replay once reused whatever readings slice the day loop leaked, i.e.
+// the 21:00 interval), and the collector must reject the tampered read.
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("example output not deterministic:\n--- first ---\n%s--- second ---\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"metering network: 350 meters",
+		"hour  total kW  accepted",
+		"shaving 25 kW off the 18:00 evening-peak interval",
+		"collector verdict: accepted=false",
+		"eavesdropper with p_x=0.10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// All 8 clean intervals of the day report and are accepted.
+	if got := strings.Count(out, "  true"); got != 8 {
+		t.Errorf("want 8 accepted clean intervals, saw %d:\n%s", got, out)
+	}
+}

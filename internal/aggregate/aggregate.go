@@ -18,9 +18,16 @@
 package aggregate
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrNoData marks a Finalize failure caused by an empty collection: the
+// integrity check passed trivially (both trees delivered nothing, so the
+// totals agree) but the round carries no contributions to finalize.
+// Long-running callers treat it as a degraded round rather than a fault.
+var ErrNoData = errors.New("no data collected")
 
 // Kind identifies an aggregation function.
 type Kind uint8
@@ -170,24 +177,24 @@ func (s Spec) Finalize(sums []int64, count uint32) (float64, error) {
 		return float64(sums[0]), nil
 	case Average:
 		if count == 0 {
-			return 0, fmt.Errorf("aggregate: average of zero readings")
+			return 0, fmt.Errorf("aggregate: average of zero readings: %w", ErrNoData)
 		}
 		return float64(sums[0]) / n, nil
 	case Variance:
 		if count == 0 {
-			return 0, fmt.Errorf("aggregate: variance of zero readings")
+			return 0, fmt.Errorf("aggregate: variance of zero readings: %w", ErrNoData)
 		}
 		mean := float64(sums[1]) / n
 		return float64(sums[0])/n - mean*mean, nil
 	case Max:
 		if sums[0] <= 0 {
-			return 0, fmt.Errorf("aggregate: power-mean sum non-positive (%d)", sums[0])
+			return 0, fmt.Errorf("aggregate: power-mean sum non-positive (%d): %w", sums[0], ErrNoData)
 		}
 		x := math.Pow(float64(sums[0])/fixedPointScale, 1/float64(s.Power))
 		return x * float64(s.Normal), nil
 	case Min:
 		if sums[0] <= 0 {
-			return 0, fmt.Errorf("aggregate: power-mean sum non-positive (%d)", sums[0])
+			return 0, fmt.Errorf("aggregate: power-mean sum non-positive (%d): %w", sums[0], ErrNoData)
 		}
 		x := math.Pow(float64(sums[0]), 1/float64(s.Power))
 		return float64(s.Normal) / x, nil

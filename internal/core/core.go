@@ -174,8 +174,15 @@ type Instance struct {
 	// never touch the air).
 	OnLocalShare func(id topology.NodeID, color packet.Color, share int64)
 
-	rand      *rng.Stream
-	round     uint16
+	rand *rng.Stream
+	// round counts additive rounds over the deployment's whole lifetime
+	// (an epoch pipeline runs tens of thousands per instance). Only its
+	// low 16 bits go on the air — packet.Header.Round — and feed the
+	// slice nonces; era is the high bits, and every era boundary rotates
+	// the link keys (see linksec.EraKeys), so the effective nonce
+	// identity (era, wire nonce) never repeats.
+	round     uint64
+	era       uint64
 	polluters map[topology.NodeID]int64
 	dead      []bool
 	ciphers   *linksec.CipherCache // per-link sealing state over Keys
@@ -388,6 +395,7 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 	in.Keys = keys
 	in.rand = root.Split(3)
 	in.round = 0
+	in.era = 0
 	if in.polluters == nil {
 		in.polluters = make(map[topology.NodeID]int64)
 	} else {
@@ -592,10 +600,10 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 		if in.obs != nil {
 			if accepted {
 				in.obs.roundsAccepted.Inc()
-				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:accepted", float64(in.Sim.Now()), uint32(in.round))
+				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:accepted", float64(in.Sim.Now()), uint32(uint16(in.round)))
 			} else {
 				in.obs.roundsRejected.Inc()
-				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:rejected", float64(in.Sim.Now()), uint32(in.round))
+				in.Cfg.Obs.Instant(obs.TrackGlobal, "bs:verify:rejected", float64(in.Sim.Now()), uint32(uint16(in.round)))
 			}
 		}
 		if in.qt != nil {
@@ -606,7 +614,7 @@ func (in *Instance) Run(spec aggregate.Spec, readings []int64) (*Result, error) 
 			if !accepted {
 				verdict = "verify:rejected"
 			}
-			v := in.qt.Instant(uint32(in.round), in.roundSpan, 0, verdict, float64(in.Sim.Now()))
+			v := in.qt.Instant(uint32(uint16(in.round)), in.roundSpan, 0, verdict, float64(in.Sim.Now()))
 			for i := 0; i < in.Net.N() && i < len(in.pendingAgg); i++ {
 				if in.Trees.Role[i] != tree.RoleBase {
 					continue
@@ -647,9 +655,12 @@ func (in *Instance) RunCount() (*Result, error) {
 	return in.Run(aggregate.SpecFor(aggregate.Count), make([]int64, in.Net.N()))
 }
 
-// sliceNonce builds a unique nonce per (key pair, round, slice): the high
-// bit of the low byte encodes direction so both directions of a shared key
-// never reuse a keystream.
+// sliceNonce builds a unique nonce per (key era, round, direction, slice):
+// the high bit of the low byte encodes direction so both directions of a
+// shared key never reuse a keystream. round is the wire round — the low 16
+// bits of the cumulative counter — so the nonce alone repeats every 65,536
+// rounds; uniqueness across that horizon comes from the per-era key
+// rotation in advanceRound, making (era, nonce) injective by construction.
 func sliceNonce(round uint16, src, dst topology.NodeID, idx int) uint32 {
 	dir := uint32(0)
 	if src > dst {
@@ -658,12 +669,36 @@ func sliceNonce(round uint16, src, dst topology.NodeID, idx int) uint32 {
 	return uint32(round)<<8 | dir | uint32(idx&0x7f)
 }
 
+// Rounds returns the cumulative additive rounds this deployment has run
+// since its last Reset. Epoch pipelines report it; the wire carries only
+// its low 16 bits.
+func (in *Instance) Rounds() uint64 { return in.round }
+
+// KeyEra returns the current link-key era: round >> 16. Era 0 seals with
+// Config.Keys directly; each later era re-derives every link key so slice
+// nonces — which carry only the 16-bit wire round — never repeat under
+// the same key.
+func (in *Instance) KeyEra() uint64 { return in.era }
+
+// advanceRound bumps the cumulative round counter and returns the wire
+// round. Crossing a 16-bit boundary rotates the key era: the cipher cache
+// is rebound to era-qualified keys (a pure key copy per link under the
+// AES suite), closing the nonce-wraparound keystream reuse a long-running
+// network would otherwise hit at round 65,536.
+func (in *Instance) advanceRound() uint16 {
+	in.round++
+	if era := in.round >> 16; era != in.era {
+		in.era = era
+		in.ciphers.Reset(linksec.EraKeys(in.Keys, era), in.Cfg.Suite)
+	}
+	return uint16(in.round)
+}
+
 // runAdditiveRound executes Phases II and III once for the given per-node
 // additive contributions and returns the two tree totals.
 func (in *Instance) runAdditiveRound(contribs []int64) (RoundOutcome, error) {
 	n := in.Net.N()
-	in.round++
-	round := in.round
+	round := in.advanceRound()
 	if in.faults != nil {
 		// Faults fire between rounds: the schedule advances before the
 		// slicing window opens, never mid-phase.
@@ -1128,7 +1163,7 @@ func (in *Instance) installReceivers(round uint16) {
 	_ = round // the filter reads in.round, which equals round for the whole drain
 	if in.dispatchFn == nil {
 		in.dispatchFn = func(self topology.NodeID, p *packet.Packet) {
-			if p.Round != in.round {
+			if p.Round != uint16(in.round) {
 				return
 			}
 			switch p.Kind {

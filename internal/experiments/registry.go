@@ -35,6 +35,7 @@ var Registry = map[string]Func{
 	"lifetime":  Lifetime,
 	"mtrees":    MTrees,
 	"scale":     Scale,
+	"stream":    Stream,
 }
 
 // Names returns the registered experiment IDs in stable order.

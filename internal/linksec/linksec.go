@@ -147,6 +147,53 @@ func (p *Pairwise) SharedKey(a, b topology.NodeID) (Key, bool) {
 	return k, true
 }
 
+// EraScheme derives era-qualified link keys over an inner scheme. The
+// protocol engines carry only the low 16 bits of their cumulative round
+// counter in the wire nonce, so a long-running network would repeat
+// (key, nonce) pairs every 65,536 rounds — keystream reuse under the AES
+// suite. Instead of widening the wire format, the engines rotate the key
+// era whenever the counter crosses a 16-bit boundary: every link key is
+// re-derived from (inner key, era), which re-partitions the nonce space
+// by construction. Which pairs share a key is decided entirely by the
+// inner scheme, so target selection and rng draw order never depend on
+// the era.
+type EraScheme struct {
+	Inner Scheme
+	Era   uint64
+}
+
+// EraKeys returns the scheme engines seal with during key era `era`:
+// era 0 is the inner scheme unchanged (the first 65,536 rounds seal
+// exactly as a short-lived deployment always has), later eras wrap it.
+func EraKeys(inner Scheme, era uint64) Scheme {
+	if era == 0 {
+		return inner
+	}
+	return EraScheme{Inner: inner, Era: era}
+}
+
+// HasKey implements KeyChecker by delegation: era rotation never changes
+// which pairs share a key.
+func (s EraScheme) HasKey(a, b topology.NodeID) bool {
+	if kc, ok := s.Inner.(KeyChecker); ok {
+		return kc.HasKey(a, b)
+	}
+	_, ok := s.Inner.SharedKey(a, b)
+	return ok
+}
+
+// SharedKey implements Scheme: the inner key, re-derived under the era.
+func (s EraScheme) SharedKey(a, b topology.NodeID) (Key, bool) {
+	k, ok := s.Inner.SharedKey(a, b)
+	if !ok {
+		return Key{}, false
+	}
+	d := prf("era", s.Era, binary.BigEndian.Uint64(k[:8]), binary.BigEndian.Uint64(k[8:]))
+	var out Key
+	copy(out[:], d[:KeySize])
+	return out, true
+}
+
 // RandomPredist is the Eschenauer–Gligor random key predistribution
 // scheme: a pool of PoolSize keys, RingSize random distinct key IDs per
 // node. Two nodes use the smallest common key ID.

@@ -129,7 +129,12 @@ type Instance struct {
 	keys    linksec.Scheme
 	ciphers *linksec.CipherCache // per-link sealing state over keys
 	rand    *rng.Stream
-	round   uint16
+	// round is the cumulative lifetime round counter; only its low 16
+	// bits go on the air, and each 16-bit wraparound rotates the key era
+	// (see core.Instance and linksec.EraKeys) so slice nonces never
+	// repeat under one key.
+	round uint64
+	era   uint64
 
 	polluters map[topology.NodeID]int64
 
@@ -202,6 +207,7 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 	in.keys = linksec.NewPairwise(seed ^ 0x6d74726565)
 	in.rand = root.Split(2)
 	in.round = 0
+	in.era = 0
 	if in.polluters == nil {
 		in.polluters = make(map[topology.NodeID]int64)
 	} else {
@@ -514,7 +520,13 @@ func (in *Instance) RunSum(readings []int64) (Verdict, error) {
 	n := in.Net.N()
 	m := in.Cfg.Trees
 	in.round++
-	round := in.round
+	if era := in.round >> 16; era != in.era {
+		// Rotate the key era before the wire round wraps: nonces carry
+		// only the low 16 bits of the counter (see core.advanceRound).
+		in.era = era
+		in.ciphers.Reset(linksec.EraKeys(in.keys, era), in.Cfg.Suite)
+	}
+	round := uint16(in.round)
 
 	if cap(in.assembled) < n {
 		in.assembled = append(in.assembled[:cap(in.assembled)], make([][]*slicing.Assembler, n-cap(in.assembled))...)
@@ -705,6 +717,9 @@ func (in *Instance) chooseTargets(id topology.NodeID, t int) []topology.NodeID {
 	return out
 }
 
+// Rounds returns the cumulative aggregation rounds run since Reset.
+func (in *Instance) Rounds() uint64 { return in.round }
+
 func (in *Instance) split(value int64) []int64 {
 	if in.Cfg.ShareSpread > 0 {
 		return slicing.SplitBounded(value, in.Cfg.Slices, in.Cfg.ShareSpread, in.rand)
@@ -727,7 +742,7 @@ func (in *Instance) installReceivers(round uint16) {
 	_ = round
 	if in.dispatchFn == nil {
 		in.dispatchFn = func(self topology.NodeID, p *packet.Packet) {
-			if p.Round != in.round {
+			if p.Round != uint16(in.round) {
 				return
 			}
 			switch p.Kind {

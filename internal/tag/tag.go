@@ -59,8 +59,12 @@ type Instance struct {
 	MAC    *mac.MAC
 	Tree   *tree.TAGResult
 
-	rand  *rng.Stream
-	round uint16
+	rand *rng.Stream
+	// round is the cumulative lifetime round counter; only its low 16
+	// bits go on the air (TAG sends plaintext partials, so unlike core
+	// there is no nonce to protect — the wide counter exists for
+	// epoch-qualified round identity in long-running pipelines).
+	round uint64
 	dead  []bool
 
 	childSum   []int64
@@ -116,6 +120,9 @@ func (in *Instance) Revive(id topology.NodeID) {
 func (in *Instance) isDead(id topology.NodeID) bool {
 	return in.dead != nil && in.dead[id]
 }
+
+// Rounds returns the cumulative aggregation rounds run since Reset.
+func (in *Instance) Rounds() uint64 { return in.round }
 
 var _ fault.Target = (*Instance)(nil)
 
@@ -281,7 +288,7 @@ func (in *Instance) RunCount() (*Result, error) {
 func (in *Instance) runRound(contribs []int64) Outcome {
 	n := in.Net.N()
 	in.round++
-	round := in.round
+	round := uint16(in.round)
 	startBytes := in.Medium.TotalBytes()
 	startFrames := in.Medium.Stats().FramesSent
 
@@ -304,7 +311,7 @@ func (in *Instance) runRound(contribs []int64) Outcome {
 	// former per-round captured-round closures exactly.
 	if in.handlerFn == nil {
 		in.handlerFn = func(self topology.NodeID, p *packet.Packet) {
-			if p.Kind != packet.KindAggregate || p.Round != in.round || in.isDead(self) {
+			if p.Kind != packet.KindAggregate || p.Round != uint16(in.round) || in.isDead(self) {
 				return
 			}
 			in.childSum[self] += p.Value

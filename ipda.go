@@ -29,6 +29,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/analysis"
 	"github.com/ipda-sim/ipda/internal/attack"
 	"github.com/ipda-sim/ipda/internal/core"
+	"github.com/ipda-sim/ipda/internal/energy"
 	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/linksec"
 	"github.com/ipda-sim/ipda/internal/mac"
@@ -38,6 +39,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/privacy"
 	"github.com/ipda-sim/ipda/internal/qtrace"
 	"github.com/ipda-sim/ipda/internal/rng"
+	"github.com/ipda-sim/ipda/internal/stream"
 	"github.com/ipda-sim/ipda/internal/tag"
 	"github.com/ipda-sim/ipda/internal/topology"
 	"github.com/ipda-sim/ipda/internal/trace"
@@ -395,6 +397,154 @@ func (n *Network) Kill(id int) { n.inst.Kill(topology.NodeID(id)) }
 
 // Revive undoes Kill from the next round on.
 func (n *Network) Revive(id int) { n.inst.Revive(topology.NodeID(id)) }
+
+// StreamQuery is one standing sliding-window query of a streaming run:
+// each firing folds every meter's last Window readings (summed for the
+// additive kinds, min/max for the extrema) and answers one protocol query
+// over the folds.
+type StreamQuery struct {
+	Name string
+	Kind Kind
+	// Window is the sliding-window length in epochs; the query waits for
+	// a full window before its first firing.
+	Window int
+	// Period and Phase schedule firings: the query fires at every epoch
+	// e ≥ Phase with (e − Phase) divisible by Period.
+	Period int
+	Phase  int
+	// Power and Normal tune Min/Max queries (see QueryExtremum); zero
+	// selects the defaults.
+	Power  int
+	Normal int64
+}
+
+// StreamConfig drives Network.RunStream: a continuous run where one
+// deployment serves Epochs metering intervals of Interval simulated
+// seconds each, with readings refreshed every epoch.
+type StreamConfig struct {
+	Epochs   int
+	Interval float64
+	Queries  []StreamQuery
+	// Readings yields node id's reading for an epoch; it must be
+	// deterministic in (id, epoch) for runs to reproduce.
+	Readings func(id, epoch int) int64
+	// Metered enables the per-node energy model (radio tx/rx plus idle
+	// listening over the whole span); the result then reports Joules.
+	Metered bool
+}
+
+// StreamFiring is one answered firing of a standing query.
+type StreamFiring struct {
+	Epoch    int
+	Query    string // StreamQuery.Name
+	Accepted bool
+	// NoData marks a degraded firing whose integrity check passed on an
+	// empty collection; it counts as rejected and carries no Value.
+	NoData                  bool
+	Value                   float64
+	Dead, Skipped, Repaired int
+}
+
+// StreamResult summarizes a streaming run.
+type StreamResult struct {
+	Epochs   int
+	Readings int64 // meter samples produced: (Size()−1) × Epochs
+	Accepted int
+	Rejected int
+	Firings  []StreamFiring
+	// Bytes covers all radio traffic during the run; SimSeconds is the
+	// simulated span; Joules is 0 unless StreamConfig.Metered.
+	Bytes             uint64
+	SimSeconds        float64
+	Joules            float64
+	ReadingsPerSecond float64
+	JoulesPerReading  float64
+	// Rounds is the cumulative aggregation-round count after the run and
+	// KeyEra the link-key era it ended in (the era rotates every 65,536
+	// rounds so slice nonces never repeat under one key).
+	Rounds uint64
+	KeyEra uint64
+}
+
+// RunStream runs a continuous multi-epoch collection over the deployed
+// network: Phase I trees are built once and amortized across every epoch,
+// mid-run failures are repaired in place (with Config.Repair), and the
+// configured standing queries fire on their staggered schedules. The
+// network's round counter keeps advancing across calls.
+func (n *Network) RunStream(cfg StreamConfig) (*StreamResult, error) {
+	scfg := stream.Config{
+		Epochs:   cfg.Epochs,
+		Interval: cfg.Interval,
+		Readings: cfg.Readings,
+	}
+	for _, q := range cfg.Queries {
+		scfg.Queries = append(scfg.Queries, stream.Query{
+			Name: q.Name, Kind: q.Kind, Window: q.Window, Period: q.Period,
+			Phase: q.Phase, Power: q.Power, Normal: q.Normal,
+		})
+	}
+	if cfg.Metered {
+		meter, err := energy.NewMeter(n.topo.N(), energy.DefaultModel())
+		if err != nil {
+			return nil, fmt.Errorf("ipda: %w", err)
+		}
+		scfg.Meter = meter
+	}
+	p, err := stream.New(n.inst, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		return nil, fmt.Errorf("ipda: %w", err)
+	}
+	out := &StreamResult{
+		Epochs:            res.Epochs,
+		Readings:          res.Readings,
+		Accepted:          res.Accepted,
+		Rejected:          res.Rejected,
+		Bytes:             res.Bytes,
+		SimSeconds:        res.SimSeconds,
+		Joules:            res.Joules,
+		ReadingsPerSecond: res.ReadingsPerSecond(),
+		JoulesPerReading:  res.JoulesPerReading(),
+		Rounds:            res.Rounds,
+		KeyEra:            res.Era,
+	}
+	for _, q := range res.Queries {
+		out.Firings = append(out.Firings, StreamFiring{
+			Epoch:    q.Epoch,
+			Query:    scfg.Queries[q.Query].Name,
+			Accepted: q.Accepted,
+			NoData:   q.NoData,
+			Value:    q.Value,
+			Dead:     q.Dead, Skipped: q.Skipped, Repaired: q.Repaired,
+		})
+	}
+	return out, nil
+}
+
+// DayQueries returns the standing query mix of a smart-metering day —
+// per-interval totals, hourly averages and variances, and a three-hour
+// peak watch — for the given number of epochs per hour (4 when epochs are
+// 15-minute metering intervals).
+func DayQueries(epochsPerHour int) []StreamQuery {
+	var out []StreamQuery
+	for _, q := range stream.DayQueries(epochsPerHour) {
+		out = append(out, StreamQuery{
+			Name: q.Name, Kind: q.Kind, Window: q.Window, Period: q.Period,
+			Phase: q.Phase, Power: q.Power, Normal: q.Normal,
+		})
+	}
+	return out
+}
+
+// DiurnalLoad returns a synthetic household demand in watts at the given
+// hour of day, individualized per meter — a ready-made reading profile
+// for streaming runs.
+func DiurnalLoad(meter int, hour float64) int64 {
+	return stream.DiurnalLoad(meter, hour)
+}
 
 // Eavesdropper reports what a passive adversary learned from observed
 // rounds.

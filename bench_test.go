@@ -253,6 +253,14 @@ func BenchmarkTDMADense(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Warmup rounds grow the slot tables, scratch buffers, and event
+	// pools to steady state so short -benchtime runs gate the per-round
+	// cost rather than early-round pool growth.
+	for i := 0; i < 8; i++ {
+		if _, err := net.Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := net.Count(); err != nil {

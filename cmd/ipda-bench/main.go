@@ -46,6 +46,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "intra-trial shard workers for sharded experiments (0 = 1; output is shard-independent)")
 		cipher    = flag.String("cipher", "aes", "link-encryption keystream suite: aes | sha256 (tables are suite-independent)")
 		macFlag   = flag.String("mac", "csma", "channel-access scheme: csma | tdma (tdma retimes transmissions; tables differ from csma)")
+		coalesce  = flag.Bool("coalesce", false, "grow the overhead experiments with slice-coalesced framing columns (existing columns keep their exact bytes)")
 		format    = flag.String("format", "text", "output format: text | csv")
 		progress  = flag.Bool("progress", false, "report trials completed per sweep on stderr")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
@@ -94,7 +95,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards}
+	opts := experiments.Options{Trials: *trials, Seed: *seed, Workers: *workers, Shards: *shards, Coalesce: *coalesce}
 	suite, err := linksec.ParseSuite(*cipher)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ipda-bench: %v\n", err)

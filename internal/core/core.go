@@ -93,6 +93,17 @@ type Config struct {
 	// internal/fault). Base stations are always protected. Nil disables
 	// injection.
 	Faults *fault.Config
+	// Coalesce packs each participant's same-round remote slices (both
+	// trees) into one multi-slice frame (packet.KindSliceBatch) with one
+	// MAC exchange: the frame is addressed to — and ACKed by — the first
+	// slice target, and the other targets decode it promiscuously (the
+	// radio is a broadcast medium either way). Under TDMA the channel is
+	// collision-free, so non-anchor pickups are as reliable as the anchor;
+	// under CSMA they forgo individual ARQ — a deliberate modeled tradeoff
+	// between frame economy and per-slice reliability. Coalescing changes
+	// the modeled byte/frame counts, so it is off by default and every
+	// default table is untouched.
+	Coalesce bool
 	// Repair enables localized tree repair: each round, live aggregators
 	// whose parent is dead re-attach to an alternate live same-color
 	// neighbor (tree.Result.RepairDead), and slice senders avoid dead or
@@ -256,15 +267,18 @@ type slicePlan struct {
 	active    bool
 }
 
-// sliceEvent is a pooled deferred MAC send for one Phase II slice. fire is
-// built once per event and recycles the event right after Send (the MAC
-// copies the packet), so steady-state rounds schedule slices with no
-// per-slice closure or packet allocation.
+// sliceEvent is a pooled deferred MAC send for one Phase II slice — or,
+// with coalescing, one multi-slice batch frame whose entries live in the
+// event's own reusable buffer. fire is built once per event and recycles
+// the event right after Send (the MAC deep-copies the packet, entries
+// included), so steady-state rounds schedule slices with no per-slice
+// closure or packet allocation.
 type sliceEvent struct {
-	in   *Instance
-	src  topology.NodeID
-	pkt  packet.Packet
-	fire func()
+	in      *Instance
+	src     topology.NodeID
+	pkt     packet.Packet
+	entries []packet.SliceEntry
+	fire    func()
 }
 
 // aggEvent is the pooled Phase III counterpart: a deferred sendAggregate.
@@ -350,10 +364,17 @@ func (in *Instance) Reset(net *topology.Network, cfg Config, seed uint64) error 
 	if cfg.LossRate > 0 {
 		in.Medium.SetLoss(cfg.LossRate, root.Split(4))
 	}
+	macCfg := cfg.MAC
+	if cfg.Coalesce && macCfg.MaxFrameSize == 0 {
+		// A coalesced frame can carry every remote share of one node in
+		// one round: up to Slices per tree, both trees. TDMA slots must
+		// budget for it (CSMA ignores the hint).
+		macCfg.MaxFrameSize = packet.SliceBatchSize(2 * cfg.Slices)
+	}
 	if in.MAC == nil {
-		in.MAC = mac.New(in.Sim, in.Medium, n, cfg.MAC, root.Split(1))
+		in.MAC = mac.New(in.Sim, in.Medium, n, macCfg, root.Split(1))
 	} else {
-		in.MAC.Reset(n, cfg.MAC, root.Split(1))
+		in.MAC.Reset(n, macCfg, root.Split(1))
 	}
 	if cfg.Obs != nil {
 		// Attach instrumentation before Phase I so tree construction is
@@ -679,6 +700,57 @@ func (in *Instance) Rounds() uint64 { return in.round }
 // nonces — which carry only the 16-bit wire round — never repeat under
 // the same key.
 func (in *Instance) KeyEra() uint64 { return in.era }
+
+// PrecomputeKeystreams warms the per-link AES keystream-block cache for
+// the NEXT additive round: every potential sender warms the blocks its
+// slice nonces would select toward every keyed tree-neighbor candidate.
+// Target selection draws its rng only when the round actually runs, so
+// the candidate set is the tightest superset knowable ahead of time;
+// warming a link that ends up unchosen costs one cached block and
+// changes nothing. The call is behavior-neutral by construction — no rng,
+// no events, pure cache population (see linksec.Cipher.Warm) — so every
+// table and trace is byte-identical with or without it. Exactly one
+// round ahead is the useful horizon: the block cache's slot map aliases
+// rounds, so blocks warmed further out would be evicted by the
+// intervening round's own traffic, and a multi-round firing runs its
+// later rounds back to back with no idle gap to exploit anyway. A next
+// round that crosses the key-era boundary warms nothing: its links seal
+// under rotated keys that do not exist yet. Returns the number of AES
+// blocks computed.
+func (in *Instance) PrecomputeKeystreams() int {
+	if in.Cfg.Suite != linksec.SuiteAESCTR || in.Trees == nil {
+		return 0
+	}
+	next := in.round + 1
+	if next>>16 != in.era {
+		return 0
+	}
+	round := uint16(next)
+	warmed := 0
+	warm := func(src topology.NodeID, cands []topology.NodeID) {
+		for _, dst := range cands {
+			c, ok := in.ciphers.Link(src, dst)
+			if !ok {
+				continue
+			}
+			for idx := 0; idx < in.Cfg.Slices; idx++ {
+				if c.Warm(sliceNonce(round, src, dst, idx)) {
+					warmed++
+				}
+			}
+		}
+	}
+	n := in.Net.N()
+	for i := 1; i < n; i++ {
+		id := topology.NodeID(i)
+		if in.disabled(id) || in.Trees.Role[id] == tree.RoleBase {
+			continue
+		}
+		warm(id, in.Trees.RedNeighbors[id])
+		warm(id, in.Trees.BlueNeighbors[id])
+	}
+	return warmed
+}
 
 // advanceRound bumps the cumulative round counter and returns the wire
 // round. Crossing a 16-bit boundary rotates the key era: the cipher cache
@@ -1016,9 +1088,13 @@ func (in *Instance) getSliceEvent() *sliceEvent {
 
 func (in *Instance) fireSlice(ev *sliceEvent) {
 	in.MAC.Send(ev.src, &ev.pkt)
+	slices := 1
+	if ev.pkt.Kind == packet.KindSliceBatch {
+		slices = len(ev.pkt.Entries)
+	}
 	in.sliceFree = append(in.sliceFree, ev)
 	if in.obs != nil {
-		in.obs.slicesSent.Inc()
+		in.obs.slicesSent.Add(float64(slices))
 	}
 }
 
@@ -1117,6 +1193,10 @@ func (in *Instance) collectSlices(round uint16, src topology.NodeID, color packe
 // each slice gets a span (child of the node's slicing span) beginning at
 // its scheduled send time; the MAC closes it when the frame resolves.
 func (in *Instance) scheduleSealed(t0 eventsim.Time, round uint16, src topology.NodeID, parent qtrace.Ref) {
+	if in.Cfg.Coalesce {
+		in.scheduleSealedCoalesced(t0, round, src, parent)
+		return
+	}
 	for i := range in.sealReqs {
 		r := &in.sealReqs[i]
 		if !r.OK {
@@ -1140,6 +1220,77 @@ func (in *Instance) scheduleSealed(t0 eventsim.Time, round uint16, src topology.
 		}
 		in.Sim.At(t0+offset, ev.fire)
 	}
+}
+
+// scheduleSealedCoalesced is the Coalesce-mode counterpart: all of the
+// node's sealed remote shares — both trees — pack into one
+// packet.KindSliceBatch frame anchored (addressed and ACKed) at the first
+// target, with one random send offset for the whole frame. The slices
+// themselves are sealed per-link exactly as in the per-slice path; only
+// the framing changes. A node with a single remote share sends a plain
+// KindSlice frame — a one-entry batch would just be 5 bytes of overhead.
+func (in *Instance) scheduleSealedCoalesced(t0 eventsim.Time, round uint16, src topology.NodeID, parent qtrace.Ref) {
+	sealed := 0
+	for i := range in.sealReqs {
+		if in.sealReqs[i].OK {
+			sealed++
+		}
+	}
+	if sealed == 0 {
+		return
+	}
+	ev := in.getSliceEvent()
+	ev.src = src
+	if sealed == 1 {
+		for i := range in.sealReqs {
+			r := &in.sealReqs[i]
+			if !r.OK {
+				continue
+			}
+			ev.pkt = packet.Packet{
+				Header: packet.Header{Kind: packet.KindSlice, Src: int32(src), Dst: int32(r.Dst), Round: round},
+				Cipher: r.Sealed.Cipher,
+				Nonce:  r.Sealed.Nonce,
+				Tag:    r.Sealed.Tag,
+				Color:  in.sealColors[i],
+			}
+			break
+		}
+	} else {
+		ev.entries = ev.entries[:0]
+		anchor := int32(-1)
+		for i := range in.sealReqs {
+			r := &in.sealReqs[i]
+			if !r.OK {
+				continue
+			}
+			if anchor < 0 {
+				anchor = int32(r.Dst)
+			}
+			ev.entries = append(ev.entries, packet.SliceEntry{
+				Dst:    int32(r.Dst),
+				Cipher: r.Sealed.Cipher,
+				Nonce:  r.Sealed.Nonce,
+				Tag:    r.Sealed.Tag,
+				Color:  in.sealColors[i],
+			})
+		}
+		ev.pkt = packet.Packet{
+			Header: packet.Header{Kind: packet.KindSliceBatch, Src: int32(src), Dst: anchor, Round: round},
+		}
+		ev.pkt.Entries = ev.entries
+	}
+	offset := eventsim.Time(in.rand.Float64()) * in.Cfg.SliceWindow
+	if in.qt != nil {
+		ref := in.qt.Start(uint32(round), parent, int32(src), "slice", float64(t0+offset))
+		in.qt.SetPeer(ref, ev.pkt.Dst)
+		if n := len(ev.pkt.Entries); n > 0 {
+			in.qt.SetValue(ref, float64(n))
+		}
+		ev.pkt.TraceQ = round
+		ev.pkt.TraceSpan = uint32(ref)
+	}
+	in.Sim.At(t0+offset, ev.fire)
 }
 
 // addShare folds a decrypted share into the node's per-color assembler and
@@ -1169,6 +1320,8 @@ func (in *Instance) installReceivers(round uint16) {
 			switch p.Kind {
 			case packet.KindSlice:
 				in.onSlice(self, p)
+			case packet.KindSliceBatch:
+				in.onSliceBatch(self, p)
 			case packet.KindAggregate:
 				in.onAggregate(self, p)
 			case packet.KindQuery:
@@ -1207,6 +1360,44 @@ func (in *Instance) onSlice(self topology.NodeID, p *packet.Packet) {
 	}
 	if in.qt != nil {
 		in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:assembled", float64(in.Sim.Now()))
+	}
+}
+
+// onSliceBatch handles a coalesced multi-slice frame: the node scans the
+// entries for the ones addressed to it (there is at most one per tree per
+// sender) and opens each with the same per-link cipher a standalone slice
+// would use. Entries for other nodes are skipped — their targets decode
+// the same frame promiscuously and pick out their own.
+func (in *Instance) onSliceBatch(self topology.NodeID, p *packet.Packet) {
+	if in.disabled(self) {
+		return
+	}
+	for i := range p.Entries {
+		e := &p.Entries[i]
+		if e.Dst != int32(self) {
+			continue
+		}
+		cipher, ok := in.ciphers.Link(topology.NodeID(p.Src), self)
+		if !ok {
+			continue
+		}
+		share, err := cipher.Open(linksec.Sealed{Cipher: e.Cipher, Nonce: e.Nonce, Tag: e.Tag})
+		if err != nil {
+			if in.obs != nil {
+				in.obs.slicesRejected.Inc()
+			}
+			if in.qt != nil {
+				in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:rejected", float64(in.Sim.Now()))
+			}
+			continue // forged or corrupted; drop
+		}
+		in.addShare(self, e.Color, topology.NodeID(p.Src), share)
+		if in.obs != nil {
+			in.obs.slicesAssembled.Inc()
+		}
+		if in.qt != nil {
+			in.qt.Instant(uint32(p.Round), qtrace.Ref(p.TraceSpan), int32(self), "slice:assembled", float64(in.Sim.Now()))
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/fault"
 	"github.com/ipda-sim/ipda/internal/linksec"
+	"github.com/ipda-sim/ipda/internal/mac"
 	"github.com/ipda-sim/ipda/internal/obs"
 	"github.com/ipda-sim/ipda/internal/rng"
 	"github.com/ipda-sim/ipda/internal/topology"
@@ -1068,5 +1069,56 @@ func TestObsDoesNotPerturbRun(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("missing span %q in %v", want, names)
 		}
+	}
+}
+
+// TestCoalescedRoundAccepted runs a full no-attack COUNT round with
+// slice-coalesced framing under both channel-access schemes: the round
+// must still be accepted with both trees near the participant count, and
+// the medium must actually have carried multi-slice frames.
+func TestCoalescedRoundAccepted(t *testing.T) {
+	for _, scheme := range []mac.Scheme{mac.SchemeCSMA, mac.SchemeTDMA} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Slices = 2
+			cfg.Coalesce = true
+			cfg.MAC.Scheme = scheme
+			inst := deploy(t, 200, 5, cfg)
+			res, err := inst.RunCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Accepted {
+				t.Fatalf("coalesced no-attack round rejected; diff %d", res.Outcomes[0].Diff())
+			}
+			out := res.Outcomes[0]
+			participants := float64(out.Participants)
+			if math.Abs(float64(out.Red)-participants) > 0.1*participants {
+				t.Errorf("red count %d vs participants %d", out.Red, out.Participants)
+			}
+			st := inst.Medium.Stats()
+			if st.FramesCoalesced == 0 {
+				t.Error("no coalesced frames on the air despite Coalesce mode")
+			}
+			if st.SlicesCoalesced < 2*st.FramesCoalesced {
+				t.Errorf("coalesced %d slices over %d frames: multi-slice frames should average >= 2",
+					st.SlicesCoalesced, st.FramesCoalesced)
+			}
+		})
+	}
+}
+
+// TestCoalesceOffUnchanged pins the flag default: with Coalesce unset no
+// KindSliceBatch frame is ever transmitted, so every recorded table and
+// golden keeps its meaning.
+func TestCoalesceOffUnchanged(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slices = 2
+	inst := deploy(t, 200, 5, cfg)
+	if _, err := inst.RunCount(); err != nil {
+		t.Fatal(err)
+	}
+	if st := inst.Medium.Stats(); st.FramesCoalesced != 0 || st.SlicesCoalesced != 0 {
+		t.Fatalf("coalescing stats nonzero with Coalesce off: %+v", st)
 	}
 }

@@ -180,3 +180,49 @@ func TestEveryExperimentReuseMatchesFresh(t *testing.T) {
 		})
 	}
 }
+
+// TestCoalesceColumnsDeterministicAcrossWorkers pins the coalesced-framing
+// option to the same scheduling-independence contract as everything else:
+// equal Options with Coalesce set render byte-identical tables on one
+// worker and on eight.
+func TestCoalesceColumnsDeterministicAcrossWorkers(t *testing.T) {
+	one := smallOptions("fig7", 1, 1, false)
+	one.Coalesce = true
+	eight := smallOptions("fig7", 8, 1, false)
+	eight.Coalesce = true
+	if a, b := renderOpts(t, "fig7", one), renderOpts(t, "fig7", eight); a != b {
+		t.Errorf("fig7 with Coalesce differs between 1 and 8 workers:\n--- workers=1\n%s\n--- workers=8\n%s", a, b)
+	}
+}
+
+// TestCoalesceDoesNotPerturbBaseColumns pins the option's isolation
+// guarantee: the coalesced runs draw from their own rng splits, so every
+// pre-existing cell of fig7 keeps its exact bytes when the extra columns
+// ride along.
+func TestCoalesceDoesNotPerturbBaseColumns(t *testing.T) {
+	plain := smallOptions("fig7", 4, 1, false)
+	with := plain
+	with.Coalesce = true
+	tp, err := Run("fig7", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := Run("fig7", with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.Columns) <= len(tp.Columns) {
+		t.Fatalf("Coalesce added no columns: %d vs %d", len(tc.Columns), len(tp.Columns))
+	}
+	if !reflect.DeepEqual(tc.Columns[:len(tp.Columns)], tp.Columns) {
+		t.Fatalf("base column headers changed: %v vs %v", tc.Columns[:len(tp.Columns)], tp.Columns)
+	}
+	if len(tc.Rows) != len(tp.Rows) {
+		t.Fatalf("row count changed: %d vs %d", len(tc.Rows), len(tp.Rows))
+	}
+	for i, row := range tp.Rows {
+		if !reflect.DeepEqual(tc.Rows[i][:len(row)], row) {
+			t.Errorf("row %d base cells changed: %v vs %v", i, tc.Rows[i][:len(row)], row)
+		}
+	}
+}

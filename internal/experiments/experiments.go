@@ -79,6 +79,12 @@ type Options struct {
 	// tables legitimately differ from the CSMA goldens (while remaining
 	// deterministic across workers and shards).
 	MAC mac.Scheme
+	// Coalesce grows the overhead experiments (fig7) with extra columns
+	// measured under slice-coalesced framing (core.Config.Coalesce): the
+	// coalesced runs draw from their own rng splits, so the existing
+	// columns stay byte-identical to a run without the option. Off by
+	// default so every recorded table keeps its exact shape.
+	Coalesce bool
 }
 
 // coreConfig is core.DefaultConfig with the options' suite and MAC scheme

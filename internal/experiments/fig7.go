@@ -36,6 +36,14 @@ func Fig7(o Options) (*Table, error) {
 				analysis.OverheadRatio(1), analysis.OverheadRatio(2)),
 		},
 	}
+	if o.Coalesce {
+		// Coalesced framing rides in extra columns from dedicated runs on
+		// fresh rng splits: the base columns above keep their exact bytes.
+		t.Columns = append(t.Columns,
+			"l=2C bytes", "frames/node l=2C", "ratio l=2C")
+		t.Notes = append(t.Notes,
+			"l=2C columns re-run iPDA l=2 with -coalesce: one multi-slice frame per sender per round (anchored ACK, promiscuous pickup)")
+	}
 	ackSize := uint64((&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size())
 	sizes := o.sizes()
 	s := o.sweep("fig7", len(sizes), 10)
@@ -45,6 +53,8 @@ func Fig7(o Options) (*Table, error) {
 	l1Frames := harness.NewAcc(s)
 	l2Bytes := harness.NewAcc(s)
 	l2Frames := harness.NewAcc(s)
+	l2cBytes := harness.NewAcc(s)
+	l2cFrames := harness.NewAcc(s)
 	err := s.Run(func(tr *harness.T) error {
 		arena := world.FromTrial(tr)
 		net, err := deployment(tr, sizes[tr.Point], tr.Rng.Split(1))
@@ -95,6 +105,24 @@ func Fig7(o Options) (*Table, error) {
 				l2Frames.Add(tr, out.dataFrames)
 			}
 		}
+		if o.Coalesce {
+			cfg := o.coreConfig()
+			cfg.Slices = 2
+			cfg.Coalesce = true
+			cfg.QTrace = tr.QTrace.Tracer("l2c")
+			in, err := arena.Core("fig7/l2c", net, cfg, tr.Rng.Split(22).Uint64())
+			if err != nil {
+				return err
+			}
+			res, err := in.RunCount()
+			if err != nil {
+				return err
+			}
+			tr.RecordLatency(res.Outcomes[0].Latency)
+			out := accounting(in.Medium.TotalBytes(), in.MAC.Stats().AcksSent, in.MAC.Stats().Sent, ackSize)
+			l2cBytes.Add(tr, out.bytes)
+			l2cFrames.Add(tr, out.dataFrames)
+		}
 		return nil
 	})
 	if err != nil {
@@ -105,12 +133,18 @@ func Fig7(o Options) (*Table, error) {
 		ft := tagFrames.Point(pi).Mean() / nodes
 		f1 := l1Frames.Point(pi).Mean() / nodes
 		f2 := l2Frames.Point(pi).Mean() / nodes
-		t.AddRow(
+		cells := []string{
 			d(int64(n)),
 			f(tagBytes.Point(pi).Mean()), f(l1Bytes.Point(pi).Mean()), f(l2Bytes.Point(pi).Mean()),
 			f(ft), f(f1), f(f2),
-			f(f1/ft), f(f2/ft),
-		)
+			f(f1 / ft), f(f2 / ft),
+		}
+		if o.Coalesce {
+			f2c := l2cFrames.Point(pi).Mean() / nodes
+			cells = append(cells,
+				f(l2cBytes.Point(pi).Mean()), f(f2c), f(f2c/ft))
+		}
+		t.AddRow(cells...)
 	}
 	return t, nil
 }

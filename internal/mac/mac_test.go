@@ -426,3 +426,81 @@ func TestResetClearsPassive(t *testing.T) {
 		t.Fatalf("delivered %d after Reset cleared passive, want 1", delivered)
 	}
 }
+
+// TestBatchedDeliveryAliasAndRetention pins the sharing contract of the
+// batched reception datapath: a non-retaining handler receives the MAC's
+// shared decode scratch (no per-receiver copy), while a handler marked
+// retaining gets a private deep copy — own Packet, own Entries backing —
+// that survives the scratch being overwritten by later frames.
+func TestBatchedDeliveryAliasAndRetention(t *testing.T) {
+	sim, _, m, net := setup(t, 2, 30)
+	nbs := net.Neighbors(0)
+	if len(nbs) < 2 {
+		t.Fatalf("grid gives node 0 only %d neighbors", len(nbs))
+	}
+	aliasNode, retainNode := nbs[0], nbs[1]
+	var aliased, retained *packet.Packet
+	m.SetHandler(aliasNode, func(_ topology.NodeID, p *packet.Packet) { aliased = p })
+	m.SetHandler(retainNode, func(_ topology.NodeID, p *packet.Packet) { retained = p })
+	m.SetRetaining(retainNode, true)
+	first := &packet.Packet{
+		Header: packet.Header{Kind: packet.KindSliceBatch, Src: 0, Dst: packet.Broadcast, Round: 7},
+		Entries: []packet.SliceEntry{
+			{Dst: int32(aliasNode), Nonce: 41},
+			{Dst: int32(retainNode), Nonce: 42},
+		},
+	}
+	sim.At(0, func() { m.Send(0, first) })
+	sim.RunAll()
+	if aliased == nil || retained == nil {
+		t.Fatal("handlers not called")
+	}
+	if aliased != &m.rxScratch {
+		t.Error("non-retaining handler got a copy, want the shared scratch")
+	}
+	if retained == &m.rxScratch {
+		t.Error("retaining handler got the shared scratch, want a private copy")
+	}
+	if len(retained.Entries) != 2 || &retained.Entries[0] == &m.rxScratch.Entries[0] {
+		t.Error("retained Entries alias the shared scratch storage")
+	}
+	// Overwrite the scratch with a later frame to another node: the
+	// retained copy must keep the first frame's contents.
+	sim.At(sim.Now()+1, func() {
+		m.Send(0, dataPacket(0, aliasNode, 9))
+	})
+	sim.RunAll()
+	if retained.Round != 7 || retained.Entries[1].Nonce != 42 {
+		t.Errorf("retained copy mutated by a later frame: %+v", retained)
+	}
+	// The scratch was reused by the later exchange (data frame, then its
+	// ACK decodes last) — the premise the retention contract protects.
+	if m.rxScratch.Kind == packet.KindSliceBatch {
+		t.Fatalf("test premise broken: scratch still holds the first frame")
+	}
+}
+
+// TestBatchedResolveAllocs pins the batched reception path at zero
+// steady-state allocations: after warm-up, a full unicast exchange —
+// send, carrier sense, decode-once batch delivery, ACK, ARQ resolution —
+// reuses pooled storage only.
+func TestBatchedResolveAllocs(t *testing.T) {
+	sim, _, m, net := setup(t, 2, 30)
+	dst := net.Neighbors(0)[0]
+	for i := 0; i < net.N(); i++ {
+		m.SetHandler(topology.NodeID(i), func(topology.NodeID, *packet.Packet) {})
+	}
+	pkt := dataPacket(0, dst, 1)
+	send := func() { m.Send(0, pkt) }
+	for i := 0; i < 3; i++ { // warm pools: frames, events, tx records
+		sim.At(sim.Now()+1, send)
+		sim.RunAll()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sim.At(sim.Now()+1, send)
+		sim.RunAll()
+	})
+	if allocs > 0 {
+		t.Errorf("batched resolve allocates %.1f times per exchange, want 0", allocs)
+	}
+}

@@ -19,7 +19,7 @@ package mac
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/ipda-sim/ipda/internal/eventsim"
 	"github.com/ipda-sim/ipda/internal/packet"
@@ -62,6 +62,16 @@ func ParseScheme(name string) (Scheme, error) {
 	}
 }
 
+// slotScratch is the per-MAC working storage of assignSlots, reused across
+// Resets so a fresh coloring costs no allocation once the tables reach the
+// run's network size.
+type slotScratch struct {
+	hops  []int             // BFS distances from node 0
+	queue []topology.NodeID // BFS queue backing array
+	keys  []uint64          // packed (hop rank, id) coloring order
+	used  []bool            // colors occupied within two hops
+}
+
 // AssignSlots two-hop-colors net: the returned table maps each node to a
 // slot such that no two nodes within two hops of each other share one.
 // Nodes are colored greedily in (hop distance from node 0, id) order —
@@ -69,29 +79,44 @@ func ParseScheme(name string) (Scheme, error) {
 // the two-hop-degree lower bound — with unreachable nodes last by id.
 // dst is reused when it has capacity.
 func AssignSlots(net *topology.Network, dst []int32) []int32 {
+	var scratch slotScratch
+	return assignSlots(net, dst, &scratch)
+}
+
+// assignSlots is AssignSlots over caller-held scratch (see resetTDMA).
+func assignSlots(net *topology.Network, dst []int32, s *slotScratch) []int32 {
 	n := net.N()
 	dst = resizeI32(dst, n)
 	for i := range dst {
 		dst[i] = -1
 	}
-	hops := net.HopDistances(0)
-	order := make([]topology.NodeID, n)
-	for i := range order {
-		order[i] = topology.NodeID(i)
+	s.hops, s.queue = net.HopDistancesInto(0, s.hops, s.queue)
+	// The coloring order (hop distance, id) — unreachable nodes last by
+	// id — packs into one uint64 key per node: rank in the high half, id
+	// in the low, so an ascending sort of plain integers reproduces the
+	// comparator exactly with no per-call closure or reflection.
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ha, hb := hops[order[a]], hops[order[b]]
-		// Unreachable nodes (hop < 0) sort after every reachable one.
-		if (ha < 0) != (hb < 0) {
-			return hb < 0
+	keys := s.keys[:n]
+	const unreachableRank = uint64(1) << 31 // above any real hop count
+	for i, h := range s.hops {
+		rank := unreachableRank
+		if h >= 0 {
+			rank = uint64(h)
 		}
-		if ha != hb {
-			return ha < hb
-		}
-		return order[a] < order[b]
-	})
-	used := make([]bool, n+1)
-	for _, id := range order {
+		keys[i] = rank<<32 | uint64(uint32(i))
+	}
+	slices.Sort(keys)
+	if cap(s.used) < n+1 {
+		s.used = make([]bool, n+1)
+	}
+	used := s.used[:n+1]
+	for i := range used {
+		used[i] = false
+	}
+	for _, key := range keys {
+		id := topology.NodeID(uint32(key))
 		maxSeen := int32(-1)
 		mark := func(nb topology.NodeID) {
 			if c := dst[nb]; c >= 0 {
@@ -137,6 +162,9 @@ func tdmaSlotLen(m *MAC) eventsim.Time {
 			maxSize = s
 		}
 	}
+	if m.cfg.MaxFrameSize > maxSize {
+		maxSize = m.cfg.MaxFrameSize
+	}
 	ackSize := (&packet.Packet{Header: packet.Header{Kind: packet.KindAck}}).Size()
 	return m.medium.Duration(maxSize) + m.cfg.SIFS + m.medium.Duration(ackSize) +
 		4*m.cfg.SlotTime + m.cfg.SlotTime
@@ -146,7 +174,7 @@ func tdmaSlotLen(m *MAC) eventsim.Time {
 // medium must already be Reset to the run's net (protocol stacks reset
 // radio before MAC, and New sees the net it was built over).
 func (m *MAC) resetTDMA() {
-	m.slot = AssignSlots(m.medium.Net(), m.slot)
+	m.slot = assignSlots(m.medium.Net(), m.slot, &m.slotScratch)
 	m.numSlots = 0
 	for _, s := range m.slot {
 		if int(s)+1 > m.numSlots {

@@ -148,7 +148,11 @@ type Instance struct {
 	// sealReqs stages one (node, tree)'s remote shares for a SealBatch
 	// call. Batching is per tree, not per node: the rng draws for tree
 	// t+1's target choice happen after tree t's send offsets, so a wider
-	// batch would reorder rand consumption and change results.
+	// batch would reorder rand consumption and change results. The same
+	// ordering constraint is why slice-coalesced framing (core's
+	// Config.Coalesce) is not wired here: a node-wide multi-slice frame
+	// would need every tree's target chosen before any send offset is
+	// drawn, reordering the m-tree rand stream against its goldens.
 	sealReqs []linksec.SealReq
 
 	// Query-tracing state (see core.Instance).

@@ -30,6 +30,12 @@ const (
 	KindAggregate
 	// KindAck is the link-layer acknowledgement used by the MAC.
 	KindAck
+	// KindSliceBatch carries several coalesced Phase II slices in one
+	// frame: a node with multiple same-round slices packs them — each
+	// sealed for its own next-hop link — into one transmission with one
+	// MAC exchange. The frame is addressed (and ACKed by) one anchor
+	// destination; the other slice targets pick it up promiscuously.
+	KindSliceBatch
 )
 
 func (k Kind) String() string {
@@ -44,6 +50,8 @@ func (k Kind) String() string {
 		return "AGGREGATE"
 	case KindAck:
 		return "ACK"
+	case KindSliceBatch:
+		return "SLICE_BATCH"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -132,6 +140,22 @@ type Packet struct {
 	// Aggregate fields.
 	Value int64  // partial aggregate
 	Count uint32 // number of readings folded into Value
+
+	// SliceBatch fields: the coalesced slices of a KindSliceBatch frame,
+	// each sealed for its own entry destination. DecodeFrame reuses the
+	// slice's backing array across decodes, so a scratch Packet stays
+	// allocation-free; a holder that outlives the decode must deep-copy.
+	Entries []SliceEntry
+}
+
+// SliceEntry is one coalesced slice inside a KindSliceBatch frame: the
+// per-destination fields a standalone KindSlice frame would carry.
+type SliceEntry struct {
+	Dst    int32
+	Cipher [8]byte
+	Nonce  uint32
+	Tag    uint32
+	Color  Color
 }
 
 // Link-layer framing constants, bytes. PhysOverhead models preamble, sync,
@@ -153,7 +177,19 @@ const (
 	sliceBody     = 8 + 4 + 4 + 1 // cipher + nonce + tag + color
 	aggregateBody = 8 + 4 + 1     // value + count + color
 	ackBody       = 0
+
+	sliceEntrySize = 4 + sliceBody // dst + cipher + nonce + tag + color
+
+	// MaxSliceEntries bounds a KindSliceBatch frame: the entry count is
+	// carried in one byte, and no sensible coalescing window approaches it.
+	MaxSliceEntries = 255
 )
+
+// SliceBatchSize returns the on-air length of a KindSliceBatch frame
+// carrying n entries — what MAC slot sizing needs before any frame exists.
+func SliceBatchSize(n int) int {
+	return PhysOverhead + headerSize + 1 + n*sliceEntrySize
+}
 
 // Size returns the on-air length of the packet in bytes. The trace
 // context does not contribute: it occupies part of the PhysOverhead
@@ -172,6 +208,8 @@ func (p *Packet) Size() int {
 		body = aggregateBody
 	case KindAck:
 		body = ackBody
+	case KindSliceBatch:
+		body = 1 + len(p.Entries)*sliceEntrySize
 	}
 	return PhysOverhead + headerSize + body
 }
@@ -211,6 +249,19 @@ func (p *Packet) AppendEncode(buf []byte) []byte {
 		buf = binary.BigEndian.AppendUint32(buf, p.Count)
 		buf = append(buf, byte(p.Color))
 	case KindAck:
+	case KindSliceBatch:
+		if len(p.Entries) > MaxSliceEntries {
+			panic(fmt.Sprintf("packet: %d slice-batch entries exceed %d", len(p.Entries), MaxSliceEntries))
+		}
+		buf = append(buf, byte(len(p.Entries)))
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			buf = binary.BigEndian.AppendUint32(buf, uint32(e.Dst))
+			buf = append(buf, e.Cipher[:]...)
+			buf = binary.BigEndian.AppendUint32(buf, e.Nonce)
+			buf = binary.BigEndian.AppendUint32(buf, e.Tag)
+			buf = append(buf, byte(e.Color))
+		}
 	default:
 		panic(fmt.Sprintf("packet: Marshal of unknown kind %d", p.Kind))
 	}
@@ -225,10 +276,20 @@ func FrameKind(frame []byte) Kind {
 		return 0
 	}
 	k := Kind(frame[0])
-	if k < KindHello || k > KindAck {
+	if k < KindHello || k > KindSliceBatch {
 		return 0
 	}
 	return k
+}
+
+// FrameBatchCount peeks at the entry count of an encoded KindSliceBatch
+// frame without decoding it; 0 for any other (or truncated) frame. The
+// radio's coalescing instrumentation classifies transmissions with it.
+func FrameBatchCount(frame []byte) int {
+	if len(frame) <= wireHeaderSize || Kind(frame[0]) != KindSliceBatch {
+		return 0
+	}
+	return int(frame[wireHeaderSize])
 }
 
 // FrameTraceSpan peeks at the sender-side span reference of an encoded
@@ -255,7 +316,9 @@ func Unmarshal(data []byte) (*Packet, error) {
 // overwriting it entirely. It allocates only when building an error, so
 // hot receive paths can decode into a scratch Packet.
 func DecodeFrame(p *Packet, data []byte) error {
+	entries := p.Entries[:0] // keep the backing array across decodes
 	*p = Packet{}
+	p.Entries = entries
 	if len(data) < wireHeaderSize {
 		return fmt.Errorf("packet: frame too short (%d bytes)", len(data))
 	}
@@ -301,6 +364,24 @@ func DecodeFrame(p *Packet, data []byte) error {
 		p.Count = binary.BigEndian.Uint32(body[8:12])
 		p.Color = Color(body[12])
 	case KindAck:
+	case KindSliceBatch:
+		if err := need(1); err != nil {
+			return err
+		}
+		count := int(body[0])
+		if err := need(1 + count*sliceEntrySize); err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			b := body[1+i*sliceEntrySize:]
+			var e SliceEntry
+			e.Dst = int32(binary.BigEndian.Uint32(b[:4]))
+			copy(e.Cipher[:], b[4:12])
+			e.Nonce = binary.BigEndian.Uint32(b[12:16])
+			e.Tag = binary.BigEndian.Uint32(b[16:20])
+			e.Color = Color(b[20])
+			p.Entries = append(p.Entries, e)
+		}
 	default:
 		return fmt.Errorf("packet: unknown kind %d", data[0])
 	}

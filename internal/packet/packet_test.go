@@ -245,7 +245,7 @@ func TestDecodeFrameMatchesUnmarshal(t *testing.T) {
 	if err := DecodeFrame(&got, frame); err != nil {
 		t.Fatal(err)
 	}
-	if got != *want {
+	if !reflect.DeepEqual(&got, want) {
 		t.Fatalf("DecodeFrame = %+v, want %+v", got, *want)
 	}
 	if err := DecodeFrame(&got, frame[:3]); err == nil {

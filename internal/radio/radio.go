@@ -42,6 +42,15 @@ import (
 // across transmissions, so a receiver that needs the bytes later must copy.
 type Receiver func(self topology.NodeID, frame []byte)
 
+// BatchReceiver handles one frame for every node that decoded it, in
+// deterministic neighbor order — the vectorized alternative to per-node
+// Receivers. The medium resolves all of a transmission's receptions first
+// (carrier bookkeeping, energy, taps, obs, stats) and then hands the frame
+// to the batch receiver exactly once, so a MAC can decode it once and fan
+// the shared view out to every receiver. Neither the frame nor the `to`
+// slice may be retained past the call.
+type BatchReceiver func(frame []byte, to []topology.NodeID)
+
 // Tap observes every frame audible at a node, decoded or not — the
 // eavesdropper's and the monitor's view of the medium. collided reports
 // whether the frame was corrupted at this observer. As with Receiver, the
@@ -59,16 +68,24 @@ type Stats struct {
 	BytesSent       uint64
 	FramesDelivered uint64 // successful decodes at addressed receivers
 	FramesCollided  uint64 // receptions lost to collisions or half-duplex
+
+	// FramesCoalesced counts native KindSliceBatch transmissions and
+	// SlicesCoalesced the slices they carried — the frame economy the
+	// -coalesce mode buys (both stay 0 with coalescing off).
+	FramesCoalesced uint64
+	SlicesCoalesced uint64
 }
 
 // Medium is the shared radio channel over a fixed topology. It is driven
 // entirely by the owning simulation and is not safe for concurrent use.
 type Medium struct {
-	sim      *eventsim.Sim
-	net      *topology.Network
-	rateBps  float64
-	receiver []Receiver
-	taps     []Tap
+	sim       *eventsim.Sim
+	net       *topology.Network
+	rateBps   float64
+	receiver  []Receiver
+	batchRecv BatchReceiver
+	batch     []topology.NodeID // reusable ok-receiver staging for finish
+	taps      []Tap
 
 	txUntil   []eventsim.Time // per node: end of current transmission
 	incoming  [][]*reception  // per node: receptions in progress
@@ -89,17 +106,20 @@ type Medium struct {
 // by packet.Kind (0 = unknown). A nil *mediumObs disables instrumentation
 // for the cost of one pointer check per frame.
 type mediumObs struct {
-	txFrames   [int(packet.KindAck) + 1]obs.Counter
-	txBytes    [int(packet.KindAck) + 1]obs.Counter
-	rxFrames   [int(packet.KindAck) + 1]obs.Counter
-	rxBytes    [int(packet.KindAck) + 1]obs.Counter
-	collFrames [int(packet.KindAck) + 1]obs.Counter
-	dropBytes  [int(packet.KindAck) + 1]obs.Counter
+	txFrames   [int(packet.KindSliceBatch) + 1]obs.Counter
+	txBytes    [int(packet.KindSliceBatch) + 1]obs.Counter
+	rxFrames   [int(packet.KindSliceBatch) + 1]obs.Counter
+	rxBytes    [int(packet.KindSliceBatch) + 1]obs.Counter
+	collFrames [int(packet.KindSliceBatch) + 1]obs.Counter
+	dropBytes  [int(packet.KindSliceBatch) + 1]obs.Counter
+
+	coalesced      obs.Counter
+	slicesPerFrame obs.Histogram
 }
 
 // kindLabels maps packet.Kind to its metric label value.
-var kindLabels = [int(packet.KindAck) + 1]string{
-	"unknown", "hello", "query", "slice", "aggregate", "ack",
+var kindLabels = [int(packet.KindSliceBatch) + 1]string{
+	"unknown", "hello", "query", "slice", "aggregate", "ack", "slice_batch",
 }
 
 // SetObs attaches an instrumentation sink. Label sets resolve to dense
@@ -120,6 +140,9 @@ func (m *Medium) SetObs(sink *obs.Sink) {
 		mo.collFrames[k] = sink.Reg.Counter("ipda_radio_collision_frames_total", "addressed receptions lost to collisions, fading, or half-duplex", kl)
 		mo.dropBytes[k] = sink.Reg.Counter("ipda_radio_drop_bytes_total", "bytes of addressed receptions lost in the air", kl)
 	}
+	mo.coalesced = sink.Reg.Counter("ipda_radio_frames_coalesced_total", "multi-slice frames put on the air by the coalescing mode")
+	mo.slicesPerFrame = sink.Reg.Histogram("ipda_radio_coalesced_slices", "slices carried per coalesced frame",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16})
 	m.obs = mo
 }
 
@@ -192,6 +215,7 @@ func (m *Medium) Reset(net *topology.Network) {
 	n := net.N()
 	m.net = net
 	m.receiver = resizeReceivers(m.receiver, n)
+	m.batchRecv = nil
 	m.taps = m.taps[:0]
 	m.txUntil = resizeTimes(m.txUntil, n)
 	if cap(m.incoming) < n {
@@ -246,6 +270,12 @@ func resizeCounters(s []uint64, n int) []uint64 {
 
 // SetReceiver installs the decode callback for a node.
 func (m *Medium) SetReceiver(id topology.NodeID, r Receiver) { m.receiver[id] = r }
+
+// SetBatchReceiver installs a medium-wide batch decode callback. When one
+// is installed it replaces the per-node Receiver path entirely: finish
+// resolves every reception's bookkeeping first and then delivers the frame
+// once, with the ordered list of nodes that decoded it. Reset detaches it.
+func (m *Medium) SetBatchReceiver(r BatchReceiver) { m.batchRecv = r }
 
 // AddTap installs a promiscuous observer over the whole medium.
 func (m *Medium) AddTap(t Tap) { m.taps = append(m.taps, t) }
@@ -352,6 +382,14 @@ func (m *Medium) transmit(src topology.NodeID, dst int32, frame []byte, size int
 		if m.meter != nil {
 			m.meter.ChargeTx(src, size)
 		}
+		if c := packet.FrameBatchCount(frame); c > 0 {
+			m.stats.FramesCoalesced++
+			m.stats.SlicesCoalesced += uint64(c)
+			if m.obs != nil {
+				m.obs.coalesced.Inc()
+				m.obs.slicesPerFrame.Observe(float64(c))
+			}
+		}
 		if m.obs != nil {
 			k := packet.FrameKind(frame)
 			m.obs.txFrames[k].Inc()
@@ -410,7 +448,27 @@ func (m *Medium) transmit(src topology.NodeID, dst int32, frame []byte, size int
 // finish resolves every reception of one transmission, in neighbor order —
 // the same order per-neighbor events fired in when each reception had its
 // own event, so event-level determinism is unchanged.
+//
+// With a batch receiver installed, resolution is two passes: the first
+// settles every reception's outcome and bookkeeping (incoming removal,
+// half-duplex, energy, qtrace, taps, stats, obs) while staging the nodes
+// that decoded the frame; the second hands the frame to the batch receiver
+// once. Handlers never read transient radio state synchronously (they only
+// schedule strictly-future events) and the bookkeeping draws no
+// randomness, so the split is behavior-identical to the interleaved
+// per-receiver dispatch — receivers still observe the frame in the same
+// relative order.
+//
+// Coalesced multi-slice frames (packet.KindSliceBatch) are delivered
+// promiscuously: the frame is anchored to one ACKing destination but
+// carries slices for several neighbors, so every node that decoded it
+// receives it. Delivery stats still count only the addressed anchor,
+// keeping FramesDelivered's meaning; coalescing has its own tx-side
+// counters.
 func (m *Medium) finish(tx *transmission) {
+	deliver := m.batch[:0]
+	batched := m.batchRecv != nil
+	promisc := batched && packet.FrameKind(tx.frame) == packet.KindSliceBatch
 	for i := range tx.recs {
 		rec := &tx.recs[i]
 		nb := rec.nb
@@ -458,11 +516,20 @@ func (m *Medium) finish(tx *transmission) {
 				m.obs.rxFrames[k].Inc()
 				m.obs.rxBytes[k].Add(float64(tx.size))
 			}
-			if h := m.receiver[nb]; h != nil {
+		}
+		if addressed || promisc {
+			if batched {
+				deliver = append(deliver, nb)
+			} else if h := m.receiver[nb]; h != nil {
 				h(nb, tx.frame)
 			}
 		}
 	}
+	frame := tx.frame
 	tx.frame = nil // do not pin the sender's buffer while pooled
 	m.txPool = append(m.txPool, tx)
+	m.batch = deliver[:0]
+	if batched && len(deliver) > 0 {
+		m.batchRecv(frame, deliver)
+	}
 }

@@ -97,13 +97,26 @@ func (n *Network) ReachableFrom(start NodeID) []NodeID {
 // unreachable nodes get -1. Like ReachableFrom, the queue is walked by head
 // index over one full-capacity backing array (two allocations total).
 func (n *Network) HopDistances(start NodeID) []int {
-	dist := make([]int, n.N())
+	dist, _ := n.HopDistancesInto(start, nil, nil)
+	return dist
+}
+
+// HopDistancesInto is HopDistances over caller-provided scratch: dist and
+// queue are reused when they have capacity and returned (possibly regrown)
+// so a caller that resets per run amortizes both allocations to zero.
+func (n *Network) HopDistancesInto(start NodeID, dist []int, queue []NodeID) ([]int, []NodeID) {
+	if cap(dist) < n.N() {
+		dist = make([]int, n.N())
+	}
+	dist = dist[:n.N()]
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[start] = 0
-	queue := make([]NodeID, 0, n.N())
-	queue = append(queue, start)
+	if cap(queue) < n.N() {
+		queue = make([]NodeID, 0, n.N())
+	}
+	queue = append(queue[:0], start)
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		for _, w := range n.adj[v] {
@@ -113,7 +126,7 @@ func (n *Network) HopDistances(start NodeID) []int {
 			}
 		}
 	}
-	return dist
+	return dist, queue
 }
 
 // buildAdjacency fills adj from positions using a spatial grid index.

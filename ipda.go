@@ -92,6 +92,13 @@ type Config struct {
 	// Cipher, this is a modelling change — TDMA retimes every
 	// transmission, so results legitimately differ from CSMA runs.
 	MAC string
+	// Coalesce packs each node's same-round slices into one multi-slice
+	// frame with a single MAC exchange (anchored at the first target;
+	// other targets pick the bundle up promiscuously). Like MAC this is a
+	// modelling change — byte and frame counts legitimately differ from
+	// the default per-slice framing — so it is off by default and every
+	// recorded table stays untouched. See core.Config.Coalesce.
+	Coalesce bool
 	// Seed drives every random choice; equal configs reproduce runs
 	// exactly.
 	Seed uint64
@@ -165,6 +172,7 @@ func (c Config) coreConfig() (core.Config, error) {
 		cfg.ExtraRoots = append(cfg.ExtraRoots, topology.NodeID(r))
 	}
 	cfg.Repair = c.Repair
+	cfg.Coalesce = c.Coalesce
 	if c.Faults != nil {
 		fc := c.Faults.faultConfig()
 		cfg.Faults = &fc
@@ -358,6 +366,14 @@ func (n *Network) Sum(readings []int64) (*QueryResult, error) {
 	return n.Query(Sum, readings)
 }
 
+// Coalescing reports the cumulative frame-coalescing tally since
+// deployment: how many multi-slice frames went on the air and how many
+// slices rode in them. Both are 0 unless Config.Coalesce.
+func (n *Network) Coalescing() (frames, slices uint64) {
+	st := n.inst.Medium.Stats()
+	return st.FramesCoalesced, st.SlicesCoalesced
+}
+
 // Aggregators returns the node IDs holding an aggregator role on either
 // tree (the base station, on both trees, is not listed).
 func (n *Network) Aggregators() []int {
@@ -431,6 +447,11 @@ type StreamConfig struct {
 	// Metered enables the per-node energy model (radio tx/rx plus idle
 	// listening over the whole span); the result then reports Joules.
 	Metered bool
+	// Precompute enables epoch-amortized keystream warming between
+	// firings (see the stream package). Behavior-neutral: results are
+	// byte-identical on or off; only StreamResult.WarmedBlocks and the
+	// placement of the AES work change.
+	Precompute bool
 }
 
 // StreamFiring is one answered firing of a standing query.
@@ -464,6 +485,9 @@ type StreamResult struct {
 	// rounds so slice nonces never repeat under one key).
 	Rounds uint64
 	KeyEra uint64
+	// WarmedBlocks counts the AES keystream blocks precomputed between
+	// firings (0 unless StreamConfig.Precompute).
+	WarmedBlocks int
 }
 
 // RunStream runs a continuous multi-epoch collection over the deployed
@@ -473,9 +497,10 @@ type StreamResult struct {
 // network's round counter keeps advancing across calls.
 func (n *Network) RunStream(cfg StreamConfig) (*StreamResult, error) {
 	scfg := stream.Config{
-		Epochs:   cfg.Epochs,
-		Interval: cfg.Interval,
-		Readings: cfg.Readings,
+		Epochs:     cfg.Epochs,
+		Interval:   cfg.Interval,
+		Readings:   cfg.Readings,
+		Precompute: cfg.Precompute,
 	}
 	for _, q := range cfg.Queries {
 		scfg.Queries = append(scfg.Queries, stream.Query{
@@ -510,6 +535,7 @@ func (n *Network) RunStream(cfg StreamConfig) (*StreamResult, error) {
 		JoulesPerReading:  res.JoulesPerReading(),
 		Rounds:            res.Rounds,
 		KeyEra:            res.Era,
+		WarmedBlocks:      res.WarmedBlocks,
 	}
 	for _, q := range res.Queries {
 		out.Firings = append(out.Firings, StreamFiring{
